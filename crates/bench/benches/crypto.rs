@@ -1,0 +1,122 @@
+//! Criterion micro-benchmark: the privacy substrate — Paillier across
+//! key sizes, secret sharing, DP noise — and §V-B's open question made
+//! measurable: *"The DI metadata is generally smaller, compared to data
+//! instances. However, it is unclear how much overhead the encryption of
+//! DI metadata will bring."* The `encrypt_metadata_vs_data` group
+//! answers it: encrypting a compressed indicator vector (one i64 per
+//! target row) versus encrypting the data matrix it describes.
+
+use amalur_crypto::dp::LaplaceMechanism;
+use amalur_crypto::sharing::{additive, shamir, FixedPoint};
+use amalur_crypto::{BigUint, KeyPair};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier");
+    group.sample_size(10);
+    for &bits in &[128usize, 256, 512] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(bits, &mut rng).expect("key generation");
+        let m = BigUint::from_u64(123_456);
+        let c1 = kp.public.encrypt_int(&m, &mut rng).expect("in range");
+        let c2 = kp.public.encrypt_int(&m, &mut rng).expect("in range");
+
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            b.iter(|| black_box(kp.public.encrypt_int(&m, &mut rng).expect("in range")))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt", bits), &bits, |b, _| {
+            b.iter(|| black_box(kp.private.decrypt_int(&c1).expect("own key")))
+        });
+        group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |b, _| {
+            b.iter(|| black_box(kp.public.add(&c1, &c2).expect("same key")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharing_and_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharing");
+    group.sample_size(20);
+    let fp = FixedPoint::default();
+    let secret = fp.encode(std::f64::consts::PI).expect("in range");
+    group.bench_function("additive/share4", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| black_box(additive::share(secret, 4, &mut rng).expect("n > 0")))
+    });
+    group.bench_function("additive/reconstruct4", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let shares = additive::share(secret, 4, &mut rng).expect("n > 0");
+        b.iter(|| black_box(additive::reconstruct(&shares)))
+    });
+    group.bench_function("shamir/share_3of5", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        b.iter(|| black_box(shamir::share(secret, 3, 5, &mut rng).expect("valid params")))
+    });
+    group.bench_function("shamir/reconstruct_3of5", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let shares = shamir::share(secret, 3, 5, &mut rng).expect("valid params");
+        b.iter(|| black_box(shamir::reconstruct(&shares[..3], 3).expect("enough shares")))
+    });
+    group.bench_function("laplace/privatize_1k", |b| {
+        let mechanism = LaplaceMechanism::new(1.0, 1.0).expect("valid params");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut v = vec![0.5f64; 1000];
+            mechanism.privatize(&mut v, &mut rng);
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+/// §V-B: encrypting the metadata vs encrypting the data it describes.
+fn bench_metadata_vs_data_encryption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encrypt_metadata_vs_data");
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let kp = KeyPair::generate(128, &mut rng).expect("key generation");
+
+    let rows = 64usize;
+    let cols = 16usize;
+    // Metadata: one compressed indicator entry per target row.
+    let metadata: Vec<u64> = (0..rows as u64).collect();
+    // Data: the rows × cols matrix the indicator aligns.
+    let data: Vec<f64> = (0..rows * cols).map(|i| i as f64 * 0.5).collect();
+
+    group.bench_function("metadata(CI_vector)", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        b.iter(|| {
+            let out: Vec<_> = metadata
+                .iter()
+                .map(|&v| {
+                    kp.public
+                        .encrypt_int(&BigUint::from_u64(v), &mut rng)
+                        .expect("in range")
+                })
+                .collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("data(D_matrix)", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        b.iter(|| {
+            let out: Vec<_> = data
+                .iter()
+                .map(|&v| kp.public.encrypt_f64(v, &mut rng).expect("in range"))
+                .collect();
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_paillier,
+    bench_sharing_and_dp,
+    bench_metadata_vs_data_encryption
+);
+criterion_main!(benches);

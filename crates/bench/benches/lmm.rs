@@ -1,0 +1,63 @@
+//! Criterion micro-benchmark: the LMM rewrite (`T·X`) across execution
+//! strategies and tuple ratios — the §IV-A operator the paper's
+//! Equation (2) targets.
+//!
+//! Series reported per tuple ratio (fan-out of the dimension table):
+//! * `materialized` — `T` already exists; one dense GEMM (the lower
+//!   bound materialization can ever reach, ignoring its assembly cost);
+//! * `factorized/compressed` — Amalur's gather/scatter plan;
+//! * `factorized/sparse` — the literal Eq. 2 with expanded matrices;
+//! * `materialize+mul` — what the materialization strategy actually
+//!   pays on first use (assembly + GEMM).
+
+use amalur_bench::footnote3_table;
+use amalur_factorize::Strategy;
+use amalur_matrix::DenseMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lmm");
+    group.sample_size(10);
+    for &rows in &[20_000usize] {
+        for &target_redundancy in &[true, false] {
+            let label = if target_redundancy { "fanout5" } else { "inner1to1" };
+            let ft = footnote3_table(rows, target_redundancy, false, 7);
+            let (_, cols) = ft.target_shape();
+            let x = DenseMatrix::filled(cols, 1, 0.5);
+            let t = ft.materialize();
+
+            group.bench_with_input(
+                BenchmarkId::new("materialized", label),
+                &rows,
+                |b, _| b.iter(|| black_box(t.matmul(&x).expect("shapes"))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("factorized-compressed", label),
+                &rows,
+                |b, _| {
+                    b.iter(|| black_box(ft.lmm(&x, Strategy::Compressed).expect("shapes")))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("factorized-sparse", label),
+                &rows,
+                |b, _| b.iter(|| black_box(ft.lmm(&x, Strategy::Sparse).expect("shapes"))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("materialize+mul", label),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let t = ft.materialize();
+                        black_box(t.matmul(&x).expect("shapes"))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lmm);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmark: end-to-end model training, factorized vs
+//! materialized (materialization cost included — the paper's Fig. 2
+//! pipeline pays it before training can start).
+
+use amalur_bench::footnote3_table;
+use amalur_factorize::LinOps;
+use amalur_matrix::DenseMatrix;
+use amalur_ml::{KMeans, KMeansConfig, LinRegConfig, LinearRegression, LogRegConfig, LogisticRegression};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn labels(rows: usize, binary: bool) -> DenseMatrix {
+    let y: Vec<f64> = (0..rows)
+        .map(|i| {
+            let v = (i % 7) as f64 / 7.0 - 0.5;
+            if binary {
+                f64::from(v > 0.0)
+            } else {
+                v
+            }
+        })
+        .collect();
+    DenseMatrix::column_vector(&y)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ft = footnote3_table(10_000, true, false, 17);
+    let (rows, _) = ft.target_shape();
+    let y = labels(rows, false);
+    let y_bin = labels(rows, true);
+
+    let linreg = || {
+        LinearRegression::new(LinRegConfig {
+            epochs: 10,
+            learning_rate: 1e-3,
+            l2: 0.1,
+            tolerance: 0.0,
+        })
+    };
+    let logreg = || {
+        LogisticRegression::new(LogRegConfig {
+            epochs: 10,
+            learning_rate: 1e-2,
+            l2: 0.0,
+        })
+    };
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("linreg/factorized", |b| {
+        b.iter(|| {
+            let mut m = linreg();
+            m.fit(&ft, &y).expect("trains");
+            black_box(m.coefficients().cloned())
+        })
+    });
+    group.bench_function("linreg/materialize+train", |b| {
+        b.iter(|| {
+            let t = ft.materialize();
+            let mut m = linreg();
+            m.fit(&t, &y).expect("trains");
+            black_box(m.coefficients().cloned())
+        })
+    });
+    group.bench_function("logreg/factorized", |b| {
+        b.iter(|| {
+            let mut m = logreg();
+            m.fit(&ft, &y_bin).expect("trains");
+            black_box(m.coefficients().cloned())
+        })
+    });
+    group.bench_function("logreg/materialize+train", |b| {
+        b.iter(|| {
+            let t = ft.materialize();
+            let mut m = logreg();
+            m.fit(&t, &y_bin).expect("trains");
+            black_box(m.coefficients().cloned())
+        })
+    });
+    group.bench_function("kmeans/factorized", |b| {
+        b.iter(|| {
+            let mut m = KMeans::new(KMeansConfig {
+                k: 4,
+                max_iters: 5,
+                tolerance: 0.0,
+                seed: 3,
+            });
+            black_box(m.fit(&ft).expect("clusters"))
+        })
+    });
+    group.bench_function("kmeans/materialize+train", |b| {
+        b.iter(|| {
+            let t = ft.materialize();
+            let mut m = KMeans::new(KMeansConfig {
+                k: 4,
+                max_iters: 5,
+                tolerance: 0.0,
+                seed: 3,
+            });
+            black_box(m.fit(&t).expect("clusters"))
+        })
+    });
+    // Closed-form ridge through the factorized Gram matrix.
+    group.bench_function("ridge_normal_eq/factorized", |b| {
+        b.iter(|| {
+            let mut m = LinearRegression::new(LinRegConfig {
+                l2: 1.0,
+                ..LinRegConfig::default()
+            });
+            m.fit_normal_equations(&ft, &y).expect("solves");
+            black_box(m.coefficients().cloned())
+        })
+    });
+    let _ = LinOps::n_rows(&ft);
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

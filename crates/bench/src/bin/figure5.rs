@@ -1,0 +1,103 @@
+//! **Figure 5**: the factorize/materialize decision areas.
+//!
+//! The paper sketches three areas in the (tuple ratio × feature ratio)
+//! plane: area I where factorization clearly wins (Morpheus' heuristic
+//! covers it), area II where materialization wins, and the hard area III
+//! around the "curvy borderline". This binary measures the plane and
+//! prints (a) the empirical decision map, (b) the speedup values, and
+//! (c) where each cost model draws its boundary.
+//!
+//! Run with: `cargo run --release -p amalur-bench --bin figure5`
+//! (`--quick` shrinks the base table.)
+
+use amalur_bench::{decision_char, figure5_sweep};
+use amalur_cost::TrainingWorkload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows_s1 = if quick { 4_000 } else { 40_000 };
+    let tuple_ratios = [1usize, 2, 4, 8, 16, 32];
+    let feature_ratios = [1usize, 2, 4, 8, 16, 32, 64];
+    let workload = TrainingWorkload {
+        epochs: 20,
+        x_cols: 1,
+    };
+    println!(
+        "Figure 5 reproduction — decision areas over tuple ratio × feature ratio \
+         (r_S1 = {rows_s1}, {} GD epochs)\n",
+        workload.epochs
+    );
+    let grid = figure5_sweep(rows_s1, &tuple_ratios, &feature_ratios, &workload);
+
+    let at = |tr: usize, fr: usize| {
+        grid.iter()
+            .find(|g| g.tuple_ratio == tr && g.feature_ratio == fr as f64)
+            .expect("grid point computed")
+    };
+
+    // (a) Empirical decision map ('F' = factorize measured faster).
+    println!("measured winner (F = factorize, m = materialize):");
+    print!("{:>6} |", "TR\\FR");
+    for fr in feature_ratios {
+        print!("{fr:>5}");
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 5 * feature_ratios.len()));
+    for tr in tuple_ratios {
+        print!("{tr:>6} |");
+        for fr in feature_ratios {
+            print!("{:>5}", decision_char(at(tr, fr).truth));
+        }
+        println!();
+    }
+
+    // (b) Speedups.
+    println!("\nfactorization speedup (materialized time / factorized time):");
+    print!("{:>6} |", "TR\\FR");
+    for fr in feature_ratios {
+        print!("{fr:>7}");
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 7 * feature_ratios.len()));
+    for tr in tuple_ratios {
+        print!("{tr:>6} |");
+        for fr in feature_ratios {
+            print!("{:>6.2}x", at(tr, fr).speedup);
+        }
+        println!();
+    }
+
+    // (c) Model boundaries.
+    for (name, pick) in [
+        ("Morpheus heuristic", 0usize),
+        ("Amalur cost model", 1usize),
+    ] {
+        println!("\n{name} decisions:");
+        print!("{:>6} |", "TR\\FR");
+        for fr in feature_ratios {
+            print!("{fr:>5}");
+        }
+        println!();
+        println!("{}", "-".repeat(8 + 5 * feature_ratios.len()));
+        for tr in tuple_ratios {
+            print!("{tr:>6} |");
+            for fr in feature_ratios {
+                let g = at(tr, fr);
+                let d = if pick == 0 { g.morpheus } else { g.amalur };
+                print!("{:>5}", decision_char(d));
+            }
+            println!();
+        }
+    }
+
+    // Accuracy per model over the whole plane.
+    let total = grid.len();
+    let m_ok = grid.iter().filter(|g| g.morpheus == g.truth).count();
+    let a_ok = grid.iter().filter(|g| g.amalur == g.truth).count();
+    println!(
+        "\nagreement with the measured boundary: Morpheus {m_ok}/{total}, Amalur {a_ok}/{total}"
+    );
+    println!("expected shape: factorize region grows toward high TR × high FR (area I),");
+    println!("materialize holds the low/low corner (area II), disagreements cluster near");
+    println!("the boundary (area III).");
+}

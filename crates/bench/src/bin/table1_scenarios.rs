@@ -1,0 +1,95 @@
+//! **Table I**: the four dataset relationships as training workloads.
+//!
+//! For each scenario (full outer join, inner join, left join, union) on
+//! scaled hospital silos: verify factorized ≡ materialized training,
+//! and report the per-epoch times plus the one-off materialization cost
+//! the factorized path avoids.
+//!
+//! Run with: `cargo run --release -p amalur-bench --bin table1_scenarios`
+
+use amalur_data::hospital;
+use amalur_factorize::{FactorizedTable, Strategy};
+use amalur_integration::{integrate_pair, IntegrationOptions, ScenarioKind};
+use amalur_matrix::DenseMatrix;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_er, n_pulm, overlap) = if quick {
+        (5_000, 3_000, 2_000)
+    } else {
+        (50_000, 30_000, 20_000)
+    };
+    let (er, pulm) = hospital::scaled_silos(n_er, n_pulm, overlap, 5);
+    let opts = IntegrationOptions::with_exact_key("n", "n");
+    let epochs = 20;
+
+    println!(
+        "Table I scenarios on scaled hospital silos (S1: {n_er} rows, S2: {n_pulm} rows, \
+         {overlap} shared entities, {epochs} GD epochs)\n"
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "scenario", "target", "fact/epoch", "mat/epoch", "mat assembly", "speedup", "equal"
+    );
+    println!("{}", "-".repeat(88));
+
+    for kind in [
+        ScenarioKind::FullOuterJoin,
+        ScenarioKind::InnerJoin,
+        ScenarioKind::LeftJoin,
+        ScenarioKind::Union,
+    ] {
+        let result = integrate_pair(&er, &pulm, kind, &opts).expect("hospital integrates");
+        let ft = FactorizedTable::from_integration(result).expect("consistent metadata");
+        let (rows, cols) = ft.target_shape();
+
+        let theta = DenseMatrix::filled(cols, 1, 0.1);
+        let resid = DenseMatrix::filled(rows, 1, 0.1);
+
+        // Correctness first.
+        let assembly_start = Instant::now();
+        let t = ft.materialize();
+        let assembly = assembly_start.elapsed();
+        let fact_result = ft.lmm(&theta, Strategy::Compressed).expect("shapes");
+        let mat_result = t.matmul(&theta).expect("shapes");
+        let equal = fact_result.approx_eq(&mat_result, 1e-9);
+
+        // Factorized epochs.
+        let start = Instant::now();
+        for _ in 0..epochs {
+            let _ = ft.lmm(&theta, Strategy::Compressed).expect("shapes");
+            let _ = ft.lmm_transpose(&resid, Strategy::Compressed).expect("shapes");
+        }
+        let fact_epoch = start.elapsed() / epochs as u32;
+
+        // Materialized epochs.
+        let start = Instant::now();
+        for _ in 0..epochs {
+            let _ = t.matmul(&theta).expect("shapes");
+            let _ = t.transpose_matmul(&resid).expect("shapes");
+        }
+        let mat_epoch = start.elapsed() / epochs as u32;
+
+        let total_fact = fact_epoch * epochs as u32;
+        let total_mat = assembly + mat_epoch * epochs as u32;
+        let speedup = total_mat.as_secs_f64() / total_fact.as_secs_f64().max(1e-12);
+
+        println!(
+            "{:<16} {:>7}x{:<4} {:>10.2?} {:>12.2?} {:>12.2?} {:>9.2}x {:>8}",
+            kind.to_string(),
+            rows,
+            cols,
+            fact_epoch,
+            mat_epoch,
+            assembly,
+            speedup,
+            if equal { "✓" } else { "✗" },
+        );
+    }
+    println!("\n(speedup = total materialized (assembly + epochs) / total factorized.");
+    println!(" These 1:1-matched feature-augmentation scenarios build NO target");
+    println!(" redundancy, so materialization wins — exactly Example IV.1's pruning");
+    println!(" rule. Contrast with `table3`/`figure5`, where PK-FK fan-out gives");
+    println!(" factorization multi-x wins. Correctness holds everywhere: equal ✓.)");
+}

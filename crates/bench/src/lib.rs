@@ -1,0 +1,185 @@
+//! Shared harness pieces for the table/figure report binaries and the
+//! criterion micro-benchmarks.
+//!
+//! The experiment index (which binary regenerates which table/figure of
+//! the paper) lives in `DESIGN.md` §3; results are recorded in
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amalur_cost::{
+    measure_strategies, AmalurCostModel, CostFeatures, CostModel, Decision, Measurement,
+    MorpheusHeuristic, TrainingWorkload,
+};
+use amalur_data::{generate_two_source, TwoSourceSpec};
+use amalur_factorize::FactorizedTable;
+
+/// Builds the footnote-3 configuration as a factorized table.
+///
+/// # Panics
+/// Panics on generator inconsistencies (programming error in the spec).
+pub fn footnote3_table(
+    rows_s1: usize,
+    target_redundancy: bool,
+    source_redundancy: bool,
+    seed: u64,
+) -> FactorizedTable {
+    let spec = TwoSourceSpec::footnote3(rows_s1, target_redundancy, source_redundancy, seed);
+    let (md, data) = generate_two_source(&spec).expect("footnote-3 spec is valid");
+    FactorizedTable::new(md, data).expect("generator produces consistent metadata")
+}
+
+/// One Table III cell: % of correct decisions per model over a ladder of
+/// `r_S1` values.
+#[derive(Debug, Clone)]
+pub struct QuadrantResult {
+    /// Redundancy present in the source tables?
+    pub source_redundancy: bool,
+    /// Redundancy present in the target table?
+    pub target_redundancy: bool,
+    /// Fraction of correct Morpheus decisions (0..=1).
+    pub morpheus_correct: f64,
+    /// Fraction of correct Amalur decisions (0..=1).
+    pub amalur_correct: f64,
+    /// Per-scenario details: `(r_S1, ground truth, morpheus, amalur)`.
+    pub scenarios: Vec<(usize, Decision, Decision, Decision)>,
+}
+
+/// Runs one quadrant of the Table III experiment: for every `r_S1` in
+/// `ladder`, generate the configuration, measure the ground truth, ask
+/// both models, and score them.
+pub fn run_quadrant(
+    ladder: &[usize],
+    target_redundancy: bool,
+    source_redundancy: bool,
+    workload: &TrainingWorkload,
+) -> QuadrantResult {
+    let morpheus = MorpheusHeuristic::default();
+    let amalur = AmalurCostModel::default();
+    let mut scenarios = Vec::with_capacity(ladder.len());
+    let mut m_ok = 0usize;
+    let mut a_ok = 0usize;
+    for (i, &rows) in ladder.iter().enumerate() {
+        let ft = footnote3_table(rows, target_redundancy, source_redundancy, 1000 + i as u64);
+        let features = CostFeatures::from_table(&ft);
+        let truth = measure_strategies(&ft, workload).ground_truth();
+        let m = morpheus.decide(&features, workload);
+        let a = amalur.decide(&features, workload);
+        m_ok += usize::from(m == truth);
+        a_ok += usize::from(a == truth);
+        scenarios.push((rows, truth, m, a));
+    }
+    QuadrantResult {
+        source_redundancy,
+        target_redundancy,
+        morpheus_correct: m_ok as f64 / ladder.len() as f64,
+        amalur_correct: a_ok as f64 / ladder.len() as f64,
+        scenarios,
+    }
+}
+
+/// One Figure 5 grid point: a configuration at the given tuple and
+/// feature ratios, with its measured speedup and the models' calls.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Tuple ratio (r_S1 / r_S2; fan-out of the dimension table).
+    pub tuple_ratio: usize,
+    /// Feature ratio (c_S2 / c_S1).
+    pub feature_ratio: f64,
+    /// Measured factorization speedup (>1 ⇒ factorize wins).
+    pub speedup: f64,
+    /// Measured ground truth.
+    pub truth: Decision,
+    /// Morpheus' call.
+    pub morpheus: Decision,
+    /// Amalur's call.
+    pub amalur: Decision,
+}
+
+/// Sweeps the (tuple ratio × feature ratio) plane of Figure 5.
+pub fn figure5_sweep(
+    rows_s1: usize,
+    tuple_ratios: &[usize],
+    feature_ratios: &[usize],
+    workload: &TrainingWorkload,
+) -> Vec<GridPoint> {
+    let morpheus = MorpheusHeuristic::default();
+    let amalur = AmalurCostModel::default();
+    let cols_s1 = 2usize;
+    let mut out = Vec::with_capacity(tuple_ratios.len() * feature_ratios.len());
+    for &tr in tuple_ratios {
+        for &fr in feature_ratios {
+            let spec = TwoSourceSpec {
+                rows_s1,
+                cols_s1,
+                rows_s2: (rows_s1 / tr).max(1),
+                cols_s2: (cols_s1 * fr).max(1),
+                shared_cols: 0,
+                target_redundancy: tr > 1,
+                row_coverage: 1.0,
+                source_redundancy: false,
+                seed: (tr * 1000 + fr) as u64,
+            };
+            let (md, data) = generate_two_source(&spec).expect("valid sweep spec");
+            let ft =
+                FactorizedTable::new(md, data).expect("generator produces consistent metadata");
+            let features = CostFeatures::from_table(&ft);
+            let measured: Measurement = measure_strategies(&ft, workload);
+            out.push(GridPoint {
+                tuple_ratio: tr,
+                feature_ratio: fr as f64,
+                speedup: measured.speedup(),
+                truth: measured.ground_truth(),
+                morpheus: morpheus.decide(&features, workload),
+                amalur: amalur.decide(&features, workload),
+            });
+        }
+    }
+    out
+}
+
+/// Formats a decision as a single map character: `F` = factorize wins,
+/// `m` = materialize wins.
+pub fn decision_char(d: Decision) -> char {
+    match d {
+        Decision::Factorize => 'F',
+        Decision::Materialize => 'm',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footnote3_table_shapes() {
+        let ft = footnote3_table(500, true, false, 1);
+        assert_eq!(ft.target_shape(), (500, 101));
+        let ft = footnote3_table(500, false, false, 1);
+        assert_eq!(ft.target_shape(), (100, 101)); // inner 1:1 shrinks
+    }
+
+    #[test]
+    fn quadrant_runner_scores_models() {
+        let workload = TrainingWorkload { epochs: 4, x_cols: 1 };
+        let q = run_quadrant(&[100, 1000], true, false, &workload);
+        assert_eq!(q.scenarios.len(), 2);
+        assert!((0.0..=1.0).contains(&q.morpheus_correct));
+        assert!((0.0..=1.0).contains(&q.amalur_correct));
+    }
+
+    #[test]
+    fn figure5_sweep_covers_grid() {
+        let workload = TrainingWorkload { epochs: 2, x_cols: 1 };
+        let grid = figure5_sweep(500, &[1, 8], &[1, 8], &workload);
+        assert_eq!(grid.len(), 4);
+        assert!(grid.iter().all(|g| g.speedup > 0.0));
+    }
+
+    #[test]
+    fn decision_chars() {
+        assert_eq!(decision_char(Decision::Factorize), 'F');
+        assert_eq!(decision_char(Decision::Materialize), 'm');
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for catalog operations.
+
+use std::fmt;
+
+/// Convenience alias for catalog results.
+pub type Result<T> = std::result::Result<T, CatalogError>;
+
+/// Errors produced by the metadata catalog.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// An entry with this key already exists.
+    AlreadyExists(String),
+    /// No entry with this key.
+    NotFound(String),
+    /// Persistence I/O failure.
+    Io(std::io::Error),
+    /// (De)serialization failure.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::AlreadyExists(k) => write!(f, "entry already exists: {k}"),
+            CatalogError::NotFound(k) => write!(f, "entry not found: {k}"),
+            CatalogError::Io(e) => write!(f, "io error: {e}"),
+            CatalogError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        CatalogError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CatalogError {
+    fn from(e: serde_json::Error) -> Self {
+        CatalogError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CatalogError::NotFound("x".into()).to_string().contains("x"));
+        assert!(CatalogError::AlreadyExists("y".into())
+            .to_string()
+            .contains("already"));
+    }
+}

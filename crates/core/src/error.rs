@@ -1,0 +1,79 @@
+//! Error type for the system facade.
+
+use std::fmt;
+
+/// Convenience alias for facade results.
+pub type Result<T> = std::result::Result<T, AmalurError>;
+
+/// Errors produced by the Amalur facade (wrapping every subsystem).
+#[derive(Debug)]
+pub enum AmalurError {
+    /// A referenced silo is not registered.
+    UnknownSilo(String),
+    /// A referenced integration handle is stale or unknown.
+    UnknownIntegration(String),
+    /// Invalid request (e.g. label column not in the target schema).
+    Invalid(String),
+    /// Integration subsystem error.
+    Integration(amalur_integration::IntegrationError),
+    /// Factorized computation error.
+    Factorize(amalur_factorize::FactorizeError),
+    /// ML training error.
+    Ml(amalur_ml::MlError),
+    /// Federated training error.
+    Federated(amalur_federated::FederatedError),
+    /// Catalog error.
+    Catalog(amalur_catalog::CatalogError),
+    /// Relational error.
+    Relational(amalur_relational::RelationalError),
+}
+
+impl fmt::Display for AmalurError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmalurError::UnknownSilo(n) => write!(f, "unknown silo: {n}"),
+            AmalurError::UnknownIntegration(n) => write!(f, "unknown integration: {n}"),
+            AmalurError::Invalid(m) => write!(f, "invalid request: {m}"),
+            AmalurError::Integration(e) => write!(f, "integration: {e}"),
+            AmalurError::Factorize(e) => write!(f, "factorize: {e}"),
+            AmalurError::Ml(e) => write!(f, "ml: {e}"),
+            AmalurError::Federated(e) => write!(f, "federated: {e}"),
+            AmalurError::Catalog(e) => write!(f, "catalog: {e}"),
+            AmalurError::Relational(e) => write!(f, "relational: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AmalurError {}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for AmalurError {
+            fn from(e: $ty) -> Self {
+                AmalurError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Integration, amalur_integration::IntegrationError);
+impl_from!(Factorize, amalur_factorize::FactorizeError);
+impl_from!(Ml, amalur_ml::MlError);
+impl_from!(Federated, amalur_federated::FederatedError);
+impl_from!(Catalog, amalur_catalog::CatalogError);
+impl_from!(Relational, amalur_relational::RelationalError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AmalurError = amalur_ml::MlError::NotFitted.into();
+        assert!(e.to_string().contains("ml"));
+        let e: AmalurError =
+            amalur_relational::RelationalError::UnknownColumn("c".into()).into();
+        assert!(matches!(e, AmalurError::Relational(_)));
+        assert!(AmalurError::UnknownSilo("s".into()).to_string().contains("s"));
+    }
+}

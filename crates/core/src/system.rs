@@ -1,0 +1,632 @@
+//! The `Amalur` system type: registration → integration → optimization →
+//! execution → catalog bookkeeping.
+
+use crate::{AmalurError, Result};
+use amalur_catalog::{DiEntry, MetadataCatalog, ModelEntry, SourceEntry};
+use amalur_cost::{
+    AmalurCostModel, CostFeatures, CostModel, Decision, TrainingWorkload,
+};
+use amalur_factorize::FactorizedTable;
+use amalur_federated::{party_views, train_vfl, PrivacyMode, VflConfig};
+use amalur_integration::{integrate_pair, IntegrationOptions, ScenarioKind};
+use amalur_matrix::DenseMatrix;
+use amalur_ml::{
+    LinRegConfig, LinearRegression, LogRegConfig, LogisticRegression,
+};
+use amalur_relational::Table;
+use std::collections::BTreeMap;
+
+/// User constraints attached to a training request (§II-A "there might
+/// also be constraints specific to a user and silos, e.g., data privacy
+/// regulations such as GDPR").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constraints {
+    /// Data may not leave its silo — forces the federated path.
+    pub privacy_required: bool,
+    /// Wire protection when the federated path is taken.
+    pub privacy_mode: Option<PrivacyMode>,
+}
+
+/// The optimizer's chosen execution plan (§II-A, "Optimization and
+/// coordination": factorization, materialization, or federated learning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPlan {
+    /// Push the model down to the silos via the Eq. 2 rewrites.
+    Factorize,
+    /// Join the silos and train on the materialized target table.
+    Materialize,
+    /// Split the learning process across silos.
+    Federated(PrivacyMode),
+}
+
+impl std::fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionPlan::Factorize => write!(f, "factorized"),
+            ExecutionPlan::Materialize => write!(f, "materialized"),
+            ExecutionPlan::Federated(m) => write!(f, "federated({m})"),
+        }
+    }
+}
+
+/// Handle to a completed integration: the factorized table plus its
+/// catalog id.
+#[derive(Debug, Clone)]
+pub struct IntegrationHandle {
+    /// Catalog id of the DI metadata entry.
+    pub id: String,
+    /// The integrated data, kept factorized.
+    pub table: FactorizedTable,
+    /// The scenario that produced it.
+    pub scenario: ScenarioKind,
+}
+
+/// Hyper-parameters for facade-level training.
+#[derive(Debug, Clone)]
+pub struct TrainingConfig {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization.
+    pub l2: f64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            learning_rate: 0.1,
+            l2: 0.0,
+        }
+    }
+}
+
+/// A trained model with its provenance.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// Catalog name of the model.
+    pub name: String,
+    /// Flat coefficient vector over the feature columns (concatenated
+    /// per-party for federated runs).
+    pub coefficients: DenseMatrix,
+    /// The plan that was executed.
+    pub plan: ExecutionPlan,
+    /// Final training loss.
+    pub final_loss: f64,
+    /// Evaluation metrics recorded in the catalog.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// The Amalur system: silos + catalog + optimizer + executors.
+pub struct Amalur {
+    catalog: MetadataCatalog,
+    silos: BTreeMap<String, Table>,
+    cost_model: AmalurCostModel,
+    integration_counter: usize,
+    model_counter: usize,
+}
+
+impl Default for Amalur {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Amalur {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        Self {
+            catalog: MetadataCatalog::new(),
+            silos: BTreeMap::new(),
+            cost_model: AmalurCostModel::default(),
+            integration_counter: 0,
+            model_counter: 0,
+        }
+    }
+
+    /// The metadata catalog (read access for inspection and persistence).
+    pub fn catalog(&self) -> &MetadataCatalog {
+        &self.catalog
+    }
+
+    /// Registers a silo's table, recording its basic metadata.
+    ///
+    /// # Errors
+    /// [`AmalurError::Catalog`] when the name is already registered.
+    pub fn register_silo(&mut self, table: Table, location: impl Into<String>) -> Result<()> {
+        let entry = SourceEntry::from_table(&table, location);
+        self.catalog.register_source(entry)?;
+        self.silos.insert(table.name().to_owned(), table);
+        Ok(())
+    }
+
+    /// A registered silo's table.
+    ///
+    /// # Errors
+    /// [`AmalurError::UnknownSilo`].
+    pub fn silo(&self, name: &str) -> Result<&Table> {
+        self.silos
+            .get(name)
+            .ok_or_else(|| AmalurError::UnknownSilo(name.to_owned()))
+    }
+
+    /// Runs the DI pipeline over two registered silos: schema matching,
+    /// entity resolution, metadata-matrix generation — and records the
+    /// DI metadata in the catalog.
+    ///
+    /// # Errors
+    /// Unknown silos or integration failures.
+    pub fn integrate(
+        &mut self,
+        left: &str,
+        right: &str,
+        kind: ScenarioKind,
+        opts: &IntegrationOptions,
+    ) -> Result<IntegrationHandle> {
+        let lt = self.silo(left)?.clone();
+        let rt = self.silo(right)?.clone();
+        let result = integrate_pair(&lt, &rt, kind, opts)?;
+        self.integration_counter += 1;
+        let id = format!("integration-{}", self.integration_counter);
+        self.catalog.register_integration(DiEntry::from_metadata(
+            id.clone(),
+            kind,
+            &result.metadata,
+            &result.tgds,
+        ))?;
+        let table = FactorizedTable::from_integration(result)?;
+        Ok(IntegrationHandle {
+            id,
+            table,
+            scenario: kind,
+        })
+    }
+
+    /// Runs the n-ary star DI pipeline: one base silo aligned with many
+    /// satellites on a shared key (the §I drug-risk shape). Records the
+    /// DI metadata like [`Self::integrate`].
+    ///
+    /// # Errors
+    /// Unknown silos or integration failures.
+    pub fn integrate_star(
+        &mut self,
+        base: &str,
+        satellites: &[&str],
+        kind: amalur_integration::StarKind,
+        opts: &IntegrationOptions,
+    ) -> Result<IntegrationHandle> {
+        let base_table = self.silo(base)?.clone();
+        let sat_tables: Vec<Table> = satellites
+            .iter()
+            .map(|s| self.silo(s).cloned())
+            .collect::<Result<_>>()?;
+        let sat_refs: Vec<&Table> = sat_tables.iter().collect();
+        let result =
+            amalur_integration::integrate_star(&base_table, &sat_refs, kind, opts)?;
+        let scenario = result.kind;
+        self.integration_counter += 1;
+        let id = format!("integration-{}", self.integration_counter);
+        self.catalog.register_integration(DiEntry::from_metadata(
+            id.clone(),
+            scenario,
+            &result.metadata,
+            &result.tgds,
+        ))?;
+        let table = FactorizedTable::from_integration(result)?;
+        Ok(IntegrationHandle {
+            id,
+            table,
+            scenario,
+        })
+    }
+
+    /// The optimizer (§II-A): privacy constraints force the federated
+    /// plan; otherwise the metadata-aware cost model decides between
+    /// factorization and materialization.
+    pub fn plan(
+        &self,
+        handle: &IntegrationHandle,
+        workload: &TrainingWorkload,
+        constraints: &Constraints,
+    ) -> ExecutionPlan {
+        if constraints.privacy_required {
+            return ExecutionPlan::Federated(
+                constraints.privacy_mode.unwrap_or(PrivacyMode::SecretShared),
+            );
+        }
+        let features = CostFeatures::from_table(&handle.table);
+        match self.cost_model.decide(&features, workload) {
+            Decision::Factorize => ExecutionPlan::Factorize,
+            Decision::Materialize => ExecutionPlan::Materialize,
+        }
+    }
+
+    /// Trains a linear regression on the integrated data, executing the
+    /// given plan and recording the model (with lineage) in the catalog.
+    ///
+    /// `label_col` indexes the target schema of the integration.
+    ///
+    /// # Errors
+    /// Invalid label column, training failures, federated protocol
+    /// failures.
+    pub fn train_linear_regression(
+        &mut self,
+        handle: &IntegrationHandle,
+        label_col: usize,
+        config: &TrainingConfig,
+        plan: ExecutionPlan,
+    ) -> Result<TrainedModel> {
+        let (features, y) = handle.table.split_label(label_col)?;
+        let (coefficients, final_loss) = match plan {
+            ExecutionPlan::Factorize => {
+                let mut model = LinearRegression::new(self.linreg_config(config));
+                model.fit(&features, &y)?;
+                (
+                    model
+                        .coefficients()
+                        .expect("fitted above")
+                        .clone(),
+                    model.loss_history().last().copied().unwrap_or(f64::NAN),
+                )
+            }
+            ExecutionPlan::Materialize => {
+                let t = features.materialize();
+                let mut model = LinearRegression::new(self.linreg_config(config));
+                model.fit(&t, &y)?;
+                (
+                    model
+                        .coefficients()
+                        .expect("fitted above")
+                        .clone(),
+                    model.loss_history().last().copied().unwrap_or(f64::NAN),
+                )
+            }
+            ExecutionPlan::Federated(mode) => {
+                let views = party_views(&features)?;
+                let xs: Vec<DenseMatrix> =
+                    views.iter().map(|v| v.features.clone()).collect();
+                let result = train_vfl(
+                    &xs,
+                    &y,
+                    &VflConfig {
+                        epochs: config.epochs,
+                        learning_rate: config.learning_rate,
+                        l2: config.l2,
+                        privacy: mode,
+                        seed: 42,
+                    },
+                )?;
+                let mut stacked = result.coefficients[0].clone();
+                for c in &result.coefficients[1..] {
+                    stacked = stacked.vstack(c).map_err(amalur_factorize::FactorizeError::from)?;
+                }
+                (
+                    stacked,
+                    result.loss_history.last().copied().unwrap_or(f64::NAN),
+                )
+            }
+        };
+        let mut metrics = BTreeMap::new();
+        metrics.insert("final_loss".to_owned(), final_loss);
+        let name = self.register_trained(
+            "linear_regression",
+            handle,
+            config,
+            plan,
+            metrics.clone(),
+        )?;
+        Ok(TrainedModel {
+            name,
+            coefficients,
+            plan,
+            final_loss,
+            metrics,
+        })
+    }
+
+    /// Trains a logistic regression (binary labels required), same
+    /// plan-execution semantics as
+    /// [`Self::train_linear_regression`]. Federated logistic regression
+    /// is approximated by its linear surrogate only in the VFL protocol
+    /// literature — here it is executed factorized/materialized only.
+    ///
+    /// # Errors
+    /// Invalid labels/plan or training failure.
+    pub fn train_logistic_regression(
+        &mut self,
+        handle: &IntegrationHandle,
+        label_col: usize,
+        config: &TrainingConfig,
+        plan: ExecutionPlan,
+    ) -> Result<TrainedModel> {
+        if matches!(plan, ExecutionPlan::Federated(_)) {
+            return Err(AmalurError::Invalid(
+                "federated logistic regression is not part of the reproduced protocol; \
+                 use linear regression or a central plan"
+                    .into(),
+            ));
+        }
+        let (features, y) = handle.table.split_label(label_col)?;
+        let cfg = LogRegConfig {
+            epochs: config.epochs,
+            learning_rate: config.learning_rate,
+            l2: config.l2,
+        };
+        let mut model = LogisticRegression::new(cfg);
+        let (coefficients, final_loss, accuracy) = match plan {
+            ExecutionPlan::Factorize => {
+                model.fit(&features, &y)?;
+                let pred = model.predict(&features)?;
+                let acc = amalur_ml::metrics::accuracy(&pred, y.as_slice());
+                (
+                    model.coefficients().expect("fitted").clone(),
+                    model.loss_history().last().copied().unwrap_or(f64::NAN),
+                    acc,
+                )
+            }
+            _ => {
+                let t = features.materialize();
+                model.fit(&t, &y)?;
+                let pred = model.predict(&t)?;
+                let acc = amalur_ml::metrics::accuracy(&pred, y.as_slice());
+                (
+                    model.coefficients().expect("fitted").clone(),
+                    model.loss_history().last().copied().unwrap_or(f64::NAN),
+                    acc,
+                )
+            }
+        };
+        let mut metrics = BTreeMap::new();
+        metrics.insert("final_loss".to_owned(), final_loss);
+        metrics.insert("train_accuracy".to_owned(), accuracy);
+        let name = self.register_trained(
+            "logistic_regression",
+            handle,
+            config,
+            plan,
+            metrics.clone(),
+        )?;
+        Ok(TrainedModel {
+            name,
+            coefficients,
+            plan,
+            final_loss,
+            metrics,
+        })
+    }
+
+    fn linreg_config(&self, config: &TrainingConfig) -> LinRegConfig {
+        LinRegConfig {
+            epochs: config.epochs,
+            learning_rate: config.learning_rate,
+            l2: config.l2,
+            tolerance: 0.0,
+        }
+    }
+
+    fn register_trained(
+        &mut self,
+        model_type: &str,
+        handle: &IntegrationHandle,
+        config: &TrainingConfig,
+        plan: ExecutionPlan,
+        metrics: BTreeMap<String, f64>,
+    ) -> Result<String> {
+        self.model_counter += 1;
+        let name = format!("{model_type}-{}", self.model_counter);
+        let mut hp = BTreeMap::new();
+        hp.insert("epochs".to_owned(), config.epochs.to_string());
+        hp.insert("learning_rate".to_owned(), config.learning_rate.to_string());
+        hp.insert("l2".to_owned(), config.l2.to_string());
+        self.catalog.register_model(ModelEntry {
+            name: name.clone(),
+            model_type: model_type.to_owned(),
+            environment: "amalur-native".to_owned(),
+            strategy: plan.to_string(),
+            hyperparameters: hp,
+            metrics,
+            trained_on: vec![handle.id.clone()],
+        })?;
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalur_data::hospital;
+
+    fn system_with_hospital() -> (Amalur, IntegrationHandle) {
+        let mut amalur = Amalur::new();
+        let (er, pulm) = hospital::scaled_silos(300, 200, 150, 11);
+        amalur.register_silo(er, "er-department").unwrap();
+        amalur.register_silo(pulm, "pulmonary-department").unwrap();
+        let handle = amalur
+            .integrate(
+                "S1",
+                "S2",
+                ScenarioKind::FullOuterJoin,
+                &IntegrationOptions::with_exact_key("n", "n"),
+            )
+            .unwrap();
+        (amalur, handle)
+    }
+
+    #[test]
+    fn register_and_lookup_silos() {
+        let mut amalur = Amalur::new();
+        amalur.register_silo(hospital::s1(), "er").unwrap();
+        assert_eq!(amalur.silo("S1").unwrap().num_rows(), 4);
+        assert!(amalur.silo("S9").is_err());
+        // Re-registration of the same name is rejected by the catalog.
+        assert!(amalur.register_silo(hospital::s1(), "er").is_err());
+        assert_eq!(amalur.catalog().source_names(), vec!["S1"]);
+    }
+
+    #[test]
+    fn integrate_records_di_metadata() {
+        let (amalur, handle) = system_with_hospital();
+        assert_eq!(handle.table.target_shape().1, 4); // m, a, hr, o
+        let entry = amalur.catalog().integration(&handle.id).unwrap();
+        assert_eq!(entry.scenario, "full outer join");
+        assert_eq!(entry.sources, vec!["S1", "S2"]);
+        assert_eq!(entry.target_columns, vec!["m", "a", "hr", "o"]);
+        assert_eq!(entry.tgds.len(), 3);
+        assert!(entry.redundant_cells[1] > 0); // shared patients overlap
+    }
+
+    #[test]
+    fn plan_respects_privacy_constraint() {
+        let (amalur, handle) = system_with_hospital();
+        let plan = amalur.plan(
+            &handle,
+            &TrainingWorkload::default(),
+            &Constraints {
+                privacy_required: true,
+                privacy_mode: None,
+            },
+        );
+        assert_eq!(plan, ExecutionPlan::Federated(PrivacyMode::SecretShared));
+        let plan = amalur.plan(
+            &handle,
+            &TrainingWorkload::default(),
+            &Constraints {
+                privacy_required: true,
+                privacy_mode: Some(PrivacyMode::Plaintext),
+            },
+        );
+        assert_eq!(plan, ExecutionPlan::Federated(PrivacyMode::Plaintext));
+    }
+
+    #[test]
+    fn plan_uses_cost_model_without_privacy() {
+        let (amalur, handle) = system_with_hospital();
+        let plan = amalur.plan(
+            &handle,
+            &TrainingWorkload::default(),
+            &Constraints::default(),
+        );
+        assert!(matches!(
+            plan,
+            ExecutionPlan::Factorize | ExecutionPlan::Materialize
+        ));
+    }
+
+    #[test]
+    fn factorized_and_materialized_training_agree() {
+        let (mut amalur, handle) = system_with_hospital();
+        let config = TrainingConfig {
+            epochs: 50,
+            learning_rate: 1e-4,
+            l2: 0.0,
+        };
+        let fact = amalur
+            .train_linear_regression(&handle, 0, &config, ExecutionPlan::Factorize)
+            .unwrap();
+        let mat = amalur
+            .train_linear_regression(&handle, 0, &config, ExecutionPlan::Materialize)
+            .unwrap();
+        assert!(
+            fact.coefficients.approx_eq(&mat.coefficients, 1e-9),
+            "max diff {:?}",
+            fact.coefficients.max_abs_diff(&mat.coefficients)
+        );
+        // Both models are in the catalog with lineage to the integration.
+        let trained = amalur.catalog().models_trained_on(&handle.id);
+        assert_eq!(trained.len(), 2);
+    }
+
+    #[test]
+    fn federated_training_runs_and_registers() {
+        let (mut amalur, handle) = system_with_hospital();
+        let config = TrainingConfig {
+            epochs: 30,
+            learning_rate: 1e-4,
+            l2: 0.0,
+        };
+        let model = amalur
+            .train_linear_regression(
+                &handle,
+                0,
+                &config,
+                ExecutionPlan::Federated(PrivacyMode::Plaintext),
+            )
+            .unwrap();
+        assert!(model.final_loss.is_finite());
+        let entry = amalur.catalog().model(&model.name).unwrap();
+        assert!(entry.strategy.starts_with("federated"));
+    }
+
+    #[test]
+    fn logistic_regression_trains_on_mortality() {
+        let (mut amalur, handle) = system_with_hospital();
+        let config = TrainingConfig {
+            epochs: 100,
+            learning_rate: 1e-4,
+            l2: 0.0,
+        };
+        let model = amalur
+            .train_logistic_regression(&handle, 0, &config, ExecutionPlan::Factorize)
+            .unwrap();
+        let acc = model.metrics["train_accuracy"];
+        assert!(acc > 0.5, "accuracy {acc} no better than chance");
+        // Federated logreg is rejected explicitly.
+        assert!(amalur
+            .train_logistic_regression(
+                &handle,
+                0,
+                &config,
+                ExecutionPlan::Federated(PrivacyMode::Plaintext)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn star_integration_through_the_facade() {
+        use amalur_integration::StarKind;
+        let mut amalur = Amalur::new();
+        for t in amalur_data::workloads::drug_risk_silos(150, 0.15, 5) {
+            let location = format!("{}-silo", t.name());
+            amalur.register_silo(t, location).unwrap();
+        }
+        let handle = amalur
+            .integrate_star(
+                "clinic",
+                &["hospital", "pharmacy", "lab"],
+                StarKind::Left,
+                &IntegrationOptions::with_exact_key("pid", "pid"),
+            )
+            .unwrap();
+        // clinic(label, age, weight) + sbp,dbp + dose,n_drugs + creat,alt.
+        assert_eq!(handle.table.target_shape(), (150, 9));
+        let di = amalur.catalog().integration(&handle.id).unwrap();
+        assert_eq!(di.sources.len(), 4);
+        // Train the adverse-event model on the integrated star, both ways.
+        let config = TrainingConfig {
+            epochs: 40,
+            learning_rate: 1e-5,
+            l2: 0.0,
+        };
+        let fact = amalur
+            .train_linear_regression(&handle, 0, &config, ExecutionPlan::Factorize)
+            .unwrap();
+        let mat = amalur
+            .train_linear_regression(&handle, 0, &config, ExecutionPlan::Materialize)
+            .unwrap();
+        assert!(fact.coefficients.approx_eq(&mat.coefficients, 1e-9));
+    }
+
+    #[test]
+    fn invalid_label_column_errors() {
+        let (mut amalur, handle) = system_with_hospital();
+        assert!(amalur
+            .train_linear_regression(
+                &handle,
+                99,
+                &TrainingConfig::default(),
+                ExecutionPlan::Factorize
+            )
+            .is_err());
+    }
+}

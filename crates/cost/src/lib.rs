@@ -1,0 +1,30 @@
+//! Cost estimation: to factorize or to materialize (§IV-B).
+//!
+//! Given a silo configuration and a training workload, should the system
+//! push computation down to the sources (factorize) or join first and
+//! train on the target table (materialize)? This crate provides
+//!
+//! * [`CostFeatures`] — everything a cost model may look at, extracted
+//!   from the DI metadata: shapes, match counts, redundancy counts, and
+//!   the classic tuple/feature ratios;
+//! * [`MorpheusHeuristic`] — the state-of-the-art baseline \[27\]: decide
+//!   from tuple ratio and feature ratio alone (table shapes, no DI
+//!   metadata). It covers "Area I" of Figure 5 and misfires when the join
+//!   does not actually produce target-side redundancy;
+//! * [`AmalurCostModel`] — an analytic FLOP/traffic model parameterized
+//!   by the DI metadata (actual match counts, fan-out, redundant cells),
+//!   covering the harder "Area III" cases;
+//! * [`oracle`] — ground truth by measurement: run both strategies and
+//!   time them. The Table III benchmark scores each model's decisions
+//!   against the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod features;
+mod model;
+pub mod oracle;
+
+pub use features::{CostFeatures, SourceFeatures};
+pub use model::{AmalurCostModel, CostModel, Decision, MorpheusHeuristic, TrainingWorkload};
+pub use oracle::{measure_strategies, Measurement};

@@ -1,0 +1,116 @@
+//! Differential privacy: the Laplace mechanism (the paper's §V-B
+//! reference \[70\], Dwork's survey).
+//!
+//! Used by the horizontal federated learning path to noise model updates
+//! before they leave a silo.
+
+use crate::{CryptoError, Result};
+use rand::Rng;
+
+/// Parameters of an (ε, 0)-differentially-private Laplace mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceMechanism {
+    /// L1 sensitivity of the released quantity.
+    pub sensitivity: f64,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates a mechanism, validating the parameters.
+    ///
+    /// # Errors
+    /// [`CryptoError::InvalidParameter`] for non-positive ε or
+    /// sensitivity.
+    pub fn new(sensitivity: f64, epsilon: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(CryptoError::InvalidParameter(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        if !sensitivity.is_finite() || sensitivity <= 0.0 {
+            return Err(CryptoError::InvalidParameter(format!(
+                "sensitivity must be positive and finite, got {sensitivity}"
+            )));
+        }
+        Ok(Self {
+            sensitivity,
+            epsilon,
+        })
+    }
+
+    /// The Laplace scale `b = sensitivity / ε`.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    /// One Laplace(0, b) sample via inverse CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let b = self.scale();
+        // u ∈ (−0.5, 0.5); X = −b·sign(u)·ln(1 − 2|u|)
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Adds independent Laplace noise to every element in place.
+    pub fn privatize<R: Rng + ?Sized>(&self, values: &mut [f64], rng: &mut R) {
+        for v in values {
+            *v += self.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(LaplaceMechanism::new(1.0, 0.5).is_ok());
+        assert!(LaplaceMechanism::new(1.0, 0.0).is_err());
+        assert!(LaplaceMechanism::new(1.0, -1.0).is_err());
+        assert!(LaplaceMechanism::new(0.0, 1.0).is_err());
+        assert!(LaplaceMechanism::new(f64::NAN, 1.0).is_err());
+        assert!(LaplaceMechanism::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn scale_is_sensitivity_over_epsilon() {
+        let m = LaplaceMechanism::new(2.0, 0.5).unwrap();
+        assert_eq!(m.scale(), 4.0);
+    }
+
+    #[test]
+    fn samples_have_zero_mean_and_laplace_variance() {
+        let m = LaplaceMechanism::new(1.0, 1.0).unwrap(); // b = 1, var = 2b² = 2
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 2.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let spread = |eps: f64, rng: &mut rand::rngs::StdRng| {
+            let m = LaplaceMechanism::new(1.0, eps).unwrap();
+            (0..10_000).map(|_| m.sample(rng).abs()).sum::<f64>() / 10_000.0
+        };
+        let tight = spread(10.0, &mut rng);
+        let loose = spread(0.1, &mut rng);
+        assert!(loose > tight * 10.0, "loose {loose} vs tight {tight}");
+    }
+
+    #[test]
+    fn privatize_perturbs_in_place() {
+        let m = LaplaceMechanism::new(1.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut v = vec![1.0; 16];
+        m.privatize(&mut v, &mut rng);
+        assert!(v.iter().any(|&x| x != 1.0));
+    }
+}

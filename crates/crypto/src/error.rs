@@ -1,0 +1,60 @@
+//! Error type for cryptographic operations.
+
+use std::fmt;
+
+/// Convenience alias for crypto results.
+pub type Result<T> = std::result::Result<T, CryptoError>;
+
+/// Errors produced by the privacy substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A modular inverse does not exist (operand not coprime to modulus).
+    NotInvertible,
+    /// Division by zero.
+    DivisionByZero,
+    /// A plaintext value is outside the encodable range.
+    PlaintextOutOfRange(String),
+    /// Ciphertexts belong to different keys.
+    KeyMismatch,
+    /// Invalid parameter (key size, share counts, thresholds, ε ≤ 0, …).
+    InvalidParameter(String),
+    /// Not enough shares to reconstruct a secret.
+    InsufficientShares {
+        /// Threshold required.
+        needed: usize,
+        /// Shares provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::NotInvertible => write!(f, "value has no modular inverse"),
+            CryptoError::DivisionByZero => write!(f, "division by zero"),
+            CryptoError::PlaintextOutOfRange(m) => {
+                write!(f, "plaintext out of range: {m}")
+            }
+            CryptoError::KeyMismatch => write!(f, "ciphertexts from different keys"),
+            CryptoError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            CryptoError::InsufficientShares { needed, got } => {
+                write!(f, "need {needed} shares, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CryptoError::NotInvertible.to_string().contains("inverse"));
+        assert!(CryptoError::InsufficientShares { needed: 3, got: 1 }
+            .to_string()
+            .contains("3"));
+    }
+}

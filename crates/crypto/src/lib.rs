@@ -1,0 +1,28 @@
+//! Privacy substrate for federated Amalur (§V of the paper).
+//!
+//! "The common techniques for privacy-preserving in federated learning
+//! and data integration include homomorphic encryption \[Paillier\],
+//! secret sharing \[Shamir\] and differential privacy \[Dwork\]" — §V-B.
+//! This crate implements all three from scratch:
+//!
+//! * [`BigUint`] — arbitrary-precision unsigned integers (the offline
+//!   crate set has no bignum), with modular exponentiation, inverses and
+//!   Miller–Rabin primality testing;
+//! * [`paillier`] — the Paillier additively homomorphic cryptosystem
+//!   with fixed-point encoding of `f64` values;
+//! * [`sharing`] — additive secret sharing over a 61-bit Mersenne prime
+//!   field plus Shamir's threshold scheme;
+//! * [`dp`] — the Laplace mechanism for differential privacy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+pub mod dp;
+mod error;
+pub mod paillier;
+pub mod sharing;
+
+pub use bigint::BigUint;
+pub use error::{CryptoError, Result};
+pub use paillier::{Ciphertext, KeyPair, PrivateKey, PublicKey};

@@ -1,0 +1,376 @@
+//! Secret sharing over the Mersenne field `Z_p`, `p = 2⁶¹ − 1`.
+//!
+//! Two schemes:
+//!
+//! * [`additive`] — n-of-n additive sharing, the workhorse of secure
+//!   aggregation in the federated protocols (shares sum to the secret;
+//!   any proper subset is uniformly random);
+//! * [`shamir`] — Shamir's t-of-n threshold scheme (the paper's
+//!   reference \[68\]), polynomial interpolation over `Z_p`.
+//!
+//! Real values travel as fixed point via [`FixedPoint`].
+
+use crate::{CryptoError, Result};
+use rand::Rng;
+
+/// The field prime `2⁶¹ − 1` (Mersenne; reduction is cheap and every
+/// non-zero element is invertible).
+pub const PRIME: u64 = (1 << 61) - 1;
+
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let s = a as u128 + b as u128;
+    (s % PRIME as u128) as u64
+}
+
+#[inline]
+fn sub_mod(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + PRIME - b
+    }
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    (a as u128 * b as u128 % PRIME as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= PRIME;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in `Z_p` (Fermat).
+fn inv_mod(a: u64) -> Result<u64> {
+    if a.is_multiple_of(PRIME) {
+        return Err(CryptoError::NotInvertible);
+    }
+    Ok(pow_mod(a, PRIME - 2))
+}
+
+/// Fixed-point codec between `f64` and the field.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPoint {
+    /// Fractional bits.
+    pub scale_bits: u32,
+}
+
+impl Default for FixedPoint {
+    fn default() -> Self {
+        Self { scale_bits: 20 }
+    }
+}
+
+impl FixedPoint {
+    /// Encodes `x` into `Z_p` (negatives in the upper half).
+    ///
+    /// # Errors
+    /// [`CryptoError::PlaintextOutOfRange`] for non-finite or oversized
+    /// values (|scaled| must stay below `p/4` to leave headroom for
+    /// aggregation).
+    pub fn encode(&self, x: f64) -> Result<u64> {
+        if !x.is_finite() {
+            return Err(CryptoError::PlaintextOutOfRange("non-finite".into()));
+        }
+        let scaled = (x * (1u64 << self.scale_bits) as f64).round();
+        if scaled.abs() >= (PRIME / 4) as f64 {
+            return Err(CryptoError::PlaintextOutOfRange(format!(
+                "{x} exceeds fixed-point range"
+            )));
+        }
+        if scaled < 0.0 {
+            Ok(PRIME - (-scaled) as u64)
+        } else {
+            Ok(scaled as u64)
+        }
+    }
+
+    /// Decodes a field element back to `f64`.
+    pub fn decode(&self, v: u64) -> f64 {
+        let scale = (1u64 << self.scale_bits) as f64;
+        if v > PRIME / 2 {
+            -((PRIME - v) as f64 / scale)
+        } else {
+            v as f64 / scale
+        }
+    }
+}
+
+/// n-of-n additive secret sharing.
+pub mod additive {
+    use super::{add_mod, sub_mod, Rng, Result, CryptoError, PRIME};
+
+    /// Splits `secret ∈ Z_p` into `n` shares summing to it.
+    ///
+    /// # Errors
+    /// [`CryptoError::InvalidParameter`] for `n == 0`.
+    pub fn share<R: Rng + ?Sized>(secret: u64, n: usize, rng: &mut R) -> Result<Vec<u64>> {
+        if n == 0 {
+            return Err(CryptoError::InvalidParameter("zero parties".into()));
+        }
+        let mut shares = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for _ in 0..n - 1 {
+            let s = rng.gen_range(0..PRIME);
+            acc = add_mod(acc, s);
+            shares.push(s);
+        }
+        shares.push(sub_mod(secret % PRIME, acc));
+        Ok(shares)
+    }
+
+    /// Reconstructs the secret from all shares.
+    pub fn reconstruct(shares: &[u64]) -> u64 {
+        shares.iter().fold(0u64, |acc, &s| add_mod(acc, s))
+    }
+
+    /// Adds two share vectors element-wise (share of the sum).
+    ///
+    /// # Errors
+    /// [`CryptoError::InvalidParameter`] on length mismatch.
+    pub fn add_shares(a: &[u64], b: &[u64]) -> Result<Vec<u64>> {
+        if a.len() != b.len() {
+            return Err(CryptoError::InvalidParameter(
+                "share vectors of different party counts".into(),
+            ));
+        }
+        Ok(a.iter().zip(b).map(|(&x, &y)| add_mod(x, y)).collect())
+    }
+}
+
+/// Shamir t-of-n threshold sharing.
+pub mod shamir {
+    use super::{add_mod, inv_mod, mul_mod, sub_mod, CryptoError, Result, Rng, PRIME};
+
+    /// A Shamir share: the evaluation `(x, f(x))`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Share {
+        /// Evaluation point (party id, 1-based; never 0).
+        pub x: u64,
+        /// Polynomial value at `x`.
+        pub y: u64,
+    }
+
+    /// Splits `secret` into `n` shares, any `threshold` of which
+    /// reconstruct it.
+    ///
+    /// # Errors
+    /// [`CryptoError::InvalidParameter`] when `threshold == 0`,
+    /// `threshold > n` or `n ≥ p`.
+    pub fn share<R: Rng + ?Sized>(
+        secret: u64,
+        threshold: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Share>> {
+        if threshold == 0 || threshold > n {
+            return Err(CryptoError::InvalidParameter(format!(
+                "threshold {threshold} not in 1..={n}"
+            )));
+        }
+        if n as u64 >= PRIME {
+            return Err(CryptoError::InvalidParameter("too many parties".into()));
+        }
+        // f(x) = secret + a₁x + … + a_{t−1}x^{t−1}
+        let coeffs: Vec<u64> = std::iter::once(secret % PRIME)
+            .chain((1..threshold).map(|_| rng.gen_range(0..PRIME)))
+            .collect();
+        Ok((1..=n as u64)
+            .map(|x| {
+                // Horner evaluation.
+                let y = coeffs
+                    .iter()
+                    .rev()
+                    .fold(0u64, |acc, &c| add_mod(mul_mod(acc, x), c));
+                Share { x, y }
+            })
+            .collect())
+    }
+
+    /// Reconstructs the secret (the polynomial at 0) by Lagrange
+    /// interpolation from at least `threshold` shares.
+    ///
+    /// # Errors
+    /// [`CryptoError::InsufficientShares`] with fewer than `threshold`
+    /// shares; [`CryptoError::InvalidParameter`] on duplicate points.
+    pub fn reconstruct(shares: &[Share], threshold: usize) -> Result<u64> {
+        if shares.len() < threshold {
+            return Err(CryptoError::InsufficientShares {
+                needed: threshold,
+                got: shares.len(),
+            });
+        }
+        let pts = &shares[..threshold];
+        for (i, a) in pts.iter().enumerate() {
+            if pts[..i].iter().any(|b| b.x == a.x) {
+                return Err(CryptoError::InvalidParameter(format!(
+                    "duplicate share point x = {}",
+                    a.x
+                )));
+            }
+        }
+        let mut secret = 0u64;
+        for (i, si) in pts.iter().enumerate() {
+            // Lagrange basis at 0: Π_{j≠i} x_j / (x_j − x_i)
+            let mut num = 1u64;
+            let mut den = 1u64;
+            for (j, sj) in pts.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                num = mul_mod(num, sj.x);
+                den = mul_mod(den, sub_mod(sj.x, si.x));
+            }
+            let basis = mul_mod(num, inv_mod(den)?);
+            secret = add_mod(secret, mul_mod(si.y, basis));
+        }
+        Ok(secret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::{prop_assert, prop_assert_eq, proptest};
+    use rand::SeedableRng;
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(add_mod(PRIME - 1, 2), 1);
+        assert_eq!(sub_mod(0, 1), PRIME - 1);
+        assert_eq!(mul_mod(2, PRIME - 1), PRIME - 2);
+        let inv = inv_mod(12345).unwrap();
+        assert_eq!(mul_mod(12345, inv), 1);
+        assert!(inv_mod(0).is_err());
+    }
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        let fp = FixedPoint::default();
+        for x in [0.0, 1.0, -1.0, 3.25, -2.75, 1e6, -1e6] {
+            let back = fp.decode(fp.encode(x).unwrap());
+            assert!((back - x).abs() < 1e-5, "{x} → {back}");
+        }
+        assert!(fp.encode(f64::NAN).is_err());
+        assert!(fp.encode(1e18).is_err());
+    }
+
+    #[test]
+    fn additive_share_reconstruct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let fp = FixedPoint::default();
+        let secret = fp.encode(-7.25).unwrap();
+        let shares = additive::share(secret, 4, &mut rng).unwrap();
+        assert_eq!(shares.len(), 4);
+        assert_eq!(additive::reconstruct(&shares), secret);
+        assert!((fp.decode(additive::reconstruct(&shares)) + 7.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn additive_single_party_degenerates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let shares = additive::share(99, 1, &mut rng).unwrap();
+        assert_eq!(shares, vec![99]);
+        assert!(additive::share(1, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn additive_shares_hide_the_secret() {
+        // Any n−1 shares are uniform: with a different secret, the first
+        // n−1 shares under the same RNG stream are identical.
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(3);
+        let a = additive::share(1, 3, &mut rng1).unwrap();
+        let b = additive::share(1_000_000, 3, &mut rng2).unwrap();
+        assert_eq!(a[..2], b[..2]);
+        assert_ne!(a[2], b[2]);
+    }
+
+    #[test]
+    fn additive_homomorphic_sum() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let fp = FixedPoint::default();
+        let sa = additive::share(fp.encode(2.5).unwrap(), 3, &mut rng).unwrap();
+        let sb = additive::share(fp.encode(-1.0).unwrap(), 3, &mut rng).unwrap();
+        let sum = additive::add_shares(&sa, &sb).unwrap();
+        assert!((fp.decode(additive::reconstruct(&sum)) - 1.5).abs() < 1e-5);
+        assert!(additive::add_shares(&sa, &sb[..2]).is_err());
+    }
+
+    #[test]
+    fn shamir_share_reconstruct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let shares = shamir::share(424242, 3, 5, &mut rng).unwrap();
+        assert_eq!(shares.len(), 5);
+        // Any 3 shares reconstruct.
+        assert_eq!(shamir::reconstruct(&shares[..3], 3).unwrap(), 424242);
+        assert_eq!(shamir::reconstruct(&shares[2..], 3).unwrap(), 424242);
+        // Fewer fail.
+        assert!(matches!(
+            shamir::reconstruct(&shares[..2], 3).unwrap_err(),
+            CryptoError::InsufficientShares { needed: 3, got: 2 }
+        ));
+    }
+
+    #[test]
+    fn shamir_duplicate_points_rejected() {
+        let s = shamir::Share { x: 1, y: 10 };
+        assert!(shamir::reconstruct(&[s, s], 2).is_err());
+    }
+
+    #[test]
+    fn shamir_invalid_params() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        assert!(shamir::share(1, 0, 3, &mut rng).is_err());
+        assert!(shamir::share(1, 4, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shamir_wrong_subset_of_two_of_three_fails_quietly() {
+        // 2 shares of a threshold-3 polynomial give a *wrong* secret if
+        // force-reconstructed with threshold 2 — verifying the scheme
+        // actually depends on the threshold.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let shares = shamir::share(555, 3, 5, &mut rng).unwrap();
+        let wrong = shamir::reconstruct(&shares[..2], 2).unwrap();
+        assert_ne!(wrong, 555);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_additive_roundtrip(secret in 0u64..PRIME, n in 1usize..8, seed in 0u64..u64::MAX) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let shares = additive::share(secret, n, &mut rng).unwrap();
+            prop_assert_eq!(additive::reconstruct(&shares), secret);
+        }
+
+        #[test]
+        fn prop_shamir_roundtrip(
+            secret in 0u64..PRIME, t in 1usize..5, extra in 0usize..4, seed in 0u64..u64::MAX,
+        ) {
+            let n = t + extra;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let shares = shamir::share(secret, t, n, &mut rng).unwrap();
+            prop_assert_eq!(shamir::reconstruct(&shares[extra..], t).unwrap(), secret);
+        }
+
+        #[test]
+        fn prop_fixed_point_additivity(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+            let fp = FixedPoint::default();
+            let ea = fp.encode(a).unwrap();
+            let eb = fp.encode(b).unwrap();
+            let sum = fp.decode(add_mod(ea, eb));
+            prop_assert!((sum - (a + b)).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The hospital running example (Figure 2), small and scaled.
+
+use amalur_relational::{DataType, Table, TableBuilder, Value};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// `S1(m, n, a, hr)` — the ER department's base table of Figure 2a.
+///
+/// Rows: Jack, Sam, Ruby, Jane.
+pub fn s1() -> Table {
+    TableBuilder::new(
+        "S1",
+        &[
+            ("m", DataType::Int64),
+            ("n", DataType::Utf8),
+            ("a", DataType::Float64),
+            ("hr", DataType::Float64),
+        ],
+    )
+    .expect("static schema")
+    .row(vec![0.into(), "Jack".into(), 20.0.into(), 60.0.into()])
+    .expect("static row")
+    .row(vec![1.into(), "Sam".into(), 35.0.into(), 58.0.into()])
+    .expect("static row")
+    .row(vec![0.into(), "Ruby".into(), 22.0.into(), 65.0.into()])
+    .expect("static row")
+    .row(vec![1.into(), "Jane".into(), 37.0.into(), 70.0.into()])
+    .expect("static row")
+    .build()
+}
+
+/// `S2(m, n, a, o, dd)` — the pulmonary department's table of Figure 2b.
+///
+/// Rows: Rose, Castiel, Jane (the shared entity).
+pub fn s2() -> Table {
+    TableBuilder::new(
+        "S2",
+        &[
+            ("m", DataType::Int64),
+            ("n", DataType::Utf8),
+            ("a", DataType::Float64),
+            ("o", DataType::Float64),
+            ("dd", DataType::Utf8),
+        ],
+    )
+    .expect("static schema")
+    .row(vec![1.into(), "Rose".into(), 45.0.into(), 95.0.into(), "1/4/21".into()])
+    .expect("static row")
+    .row(vec![0.into(), "Castiel".into(), 20.0.into(), 97.0.into(), "3/8/22".into()])
+    .expect("static row")
+    .row(vec![1.into(), "Jane".into(), 37.0.into(), 92.0.into(), "11/5/21".into()])
+    .expect("static row")
+    .build()
+}
+
+/// Generates scaled hospital silos with the Figure 2 schemas.
+///
+/// * `n_er` patients in the ER table, `n_pulmonary` in the pulmonary one;
+/// * `overlap` of them appear in both (same name, consistent age/label).
+///
+/// Mortality is planted as a noisy logistic function of age, resting
+/// heart rate and blood oxygen, so trained models beat chance and feature
+/// augmentation (adding `o`) measurably helps.
+///
+/// # Panics
+/// Panics when `overlap > n_er.min(n_pulmonary)`.
+pub fn scaled_silos(n_er: usize, n_pulmonary: usize, overlap: usize, seed: u64) -> (Table, Table) {
+    assert!(
+        overlap <= n_er.min(n_pulmonary),
+        "overlap {overlap} exceeds table sizes ({n_er}, {n_pulmonary})"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut er = TableBuilder::new(
+        "S1",
+        &[
+            ("m", DataType::Int64),
+            ("n", DataType::Utf8),
+            ("a", DataType::Float64),
+            ("hr", DataType::Float64),
+        ],
+    )
+    .expect("static schema");
+    let mut pulmonary = TableBuilder::new(
+        "S2",
+        &[
+            ("m", DataType::Int64),
+            ("n", DataType::Utf8),
+            ("a", DataType::Float64),
+            ("o", DataType::Float64),
+            ("dd", DataType::Utf8),
+        ],
+    )
+    .expect("static schema");
+
+    let patient = |rng: &mut rand::rngs::StdRng, id: usize| {
+        let age: f64 = rng.gen_range(18.0..90.0);
+        let hr: f64 = rng.gen_range(50.0..110.0);
+        let oxygen: f64 = rng.gen_range(80.0..100.0);
+        // Planted signal: older / faster heart / lower oxygen → risk.
+        let logit = 0.06 * (age - 55.0) + 0.04 * (hr - 80.0) - 0.15 * (oxygen - 92.0)
+            + rng.gen_range(-1.0..1.0);
+        let m = i64::from(logit > 0.0);
+        (format!("patient{id}"), m, age, hr, oxygen)
+    };
+
+    // Shared patients first: appear in both silos with consistent values.
+    for id in 0..overlap {
+        let (name, m, age, hr, oxygen) = patient(&mut rng, id);
+        er = er
+            .row(vec![m.into(), name.clone().into(), age.into(), hr.into()])
+            .expect("generated row");
+        pulmonary = pulmonary
+            .row(vec![
+                m.into(),
+                name.into(),
+                age.into(),
+                oxygen.into(),
+                format!("{}/{}/21", rng.gen_range(1..13), rng.gen_range(1..29)).into(),
+            ])
+            .expect("generated row");
+    }
+    for id in overlap..n_er {
+        let (name, m, age, hr, _) = patient(&mut rng, 1_000_000 + id);
+        er = er
+            .row(vec![m.into(), name.into(), age.into(), hr.into()])
+            .expect("generated row");
+    }
+    for id in overlap..n_pulmonary {
+        let (name, m, age, _, oxygen) = patient(&mut rng, 2_000_000 + id);
+        pulmonary = pulmonary
+            .row(vec![
+                m.into(),
+                name.into(),
+                age.into(),
+                oxygen.into(),
+                Value::Null,
+            ])
+            .expect("generated row");
+    }
+    (er.build(), pulmonary.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_tables_are_exact() {
+        let t1 = s1();
+        assert_eq!(t1.num_rows(), 4);
+        assert_eq!(t1.schema().names(), vec!["m", "n", "a", "hr"]);
+        assert_eq!(t1.value(3, "n").unwrap(), "Jane".into());
+        assert_eq!(t1.value(3, "hr").unwrap(), Value::Float(70.0));
+
+        let t2 = s2();
+        assert_eq!(t2.num_rows(), 3);
+        assert_eq!(t2.schema().names(), vec!["m", "n", "a", "o", "dd"]);
+        assert_eq!(t2.value(2, "n").unwrap(), "Jane".into());
+        assert_eq!(t2.value(2, "o").unwrap(), Value::Float(92.0));
+    }
+
+    #[test]
+    fn scaled_silos_respect_sizes_and_overlap() {
+        let (er, pulm) = scaled_silos(100, 60, 25, 7);
+        assert_eq!(er.num_rows(), 100);
+        assert_eq!(pulm.num_rows(), 60);
+        // First `overlap` names are shared.
+        for i in 0..25 {
+            assert_eq!(er.value(i, "n").unwrap(), pulm.value(i, "n").unwrap());
+            assert_eq!(er.value(i, "a").unwrap(), pulm.value(i, "a").unwrap());
+            assert_eq!(er.value(i, "m").unwrap(), pulm.value(i, "m").unwrap());
+        }
+        // Non-overlapping names differ.
+        assert_ne!(er.value(30, "n").unwrap(), pulm.value(30, "n").unwrap());
+    }
+
+    #[test]
+    fn scaled_silos_deterministic_per_seed() {
+        let (a1, _) = scaled_silos(20, 10, 5, 3);
+        let (a2, _) = scaled_silos(20, 10, 5, 3);
+        assert_eq!(a1.value(7, "a").unwrap(), a2.value(7, "a").unwrap());
+        let (b, _) = scaled_silos(20, 10, 5, 4);
+        assert_ne!(a1.value(7, "a").unwrap(), b.value(7, "a").unwrap());
+    }
+
+    #[test]
+    fn labels_are_binary_and_mixed() {
+        let (er, _) = scaled_silos(300, 50, 10, 11);
+        let mut zeros = 0;
+        let mut ones = 0;
+        for i in 0..er.num_rows() {
+            match er.value(i, "m").unwrap() {
+                Value::Int(0) => zeros += 1,
+                Value::Int(1) => ones += 1,
+                other => panic!("non-binary label {other:?}"),
+            }
+        }
+        assert!(zeros > 30 && ones > 30, "labels too skewed: {zeros}/{ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn excessive_overlap_panics() {
+        scaled_silos(10, 5, 6, 0);
+    }
+}

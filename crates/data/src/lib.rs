@@ -1,0 +1,26 @@
+//! Synthetic silo generators.
+//!
+//! The paper evaluates on synthetic configurations (footnote 3) and
+//! motivates Amalur with silo scenarios — hospital departments (Fig. 2),
+//! drug-risk prediction across clinics/pharmacies/labs, and keyboard
+//! stroke prediction across phones (§I). None of those datasets are
+//! public, so this crate generates controlled equivalents:
+//!
+//! * [`hospital`] — the exact Figure 2 tables plus arbitrarily large
+//!   versions with the same schema and controllable entity overlap.
+//! * [`synthetic`] — matrix-level two-source generators exposing exactly
+//!   the knobs of the paper's experiment: source shapes, row/column
+//!   overlap, PK–FK fan-out (target redundancy) and duplicated entities
+//!   (source redundancy).
+//! * [`workloads`] — the drug-risk (vertical) and keyboard (horizontal)
+//!   motivating scenarios as relational silo sets with planted signal, so
+//!   the examples train models that actually learn something.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hospital;
+pub mod synthetic;
+pub mod workloads;
+
+pub use synthetic::{generate_two_source, TwoSourceSpec};

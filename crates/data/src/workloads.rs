@@ -1,0 +1,250 @@
+//! Motivating-scenario datasets (§I of the paper).
+//!
+//! * [`drug_risk_silos`] — "the features can reside in datasets collected
+//!   from clinics, hospitals, pharmacies, and laboratories": a vertical
+//!   split of one patient population across four silos sharing a patient
+//!   id, with a planted adverse-event signal. The natural VFL / feature
+//!   augmentation workload (inner-join shape).
+//! * [`keyboard_silos`] — "training models for keyboard stroke prediction
+//!   requires data from millions of phones": a horizontal split where
+//!   every phone holds the same feature schema over disjoint users. The
+//!   natural HFL workload (union shape).
+
+use amalur_relational::{DataType, Table, TableBuilder};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generates four vertically-partitioned silos for drug-risk prediction:
+/// `clinic(pid, label, age, weight)`, `hospital(pid, sbp, dbp)`,
+/// `pharmacy(pid, dose, n_drugs)`, `lab(pid, creatinine, alt)`.
+///
+/// All silos describe the same `n` patients (shared `pid`), possibly with
+/// a fraction dropped per silo (`missing`), and the binary adverse-event
+/// label in the clinic table depends on features from *all* silos — so
+/// joining silos measurably improves a classifier.
+pub fn drug_risk_silos(n: usize, missing: f64, seed: u64) -> Vec<Table> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut patients = Vec::with_capacity(n);
+    for pid in 0..n {
+        let age: f64 = rng.gen_range(20.0..90.0);
+        let weight: f64 = rng.gen_range(45.0..120.0);
+        let sbp: f64 = rng.gen_range(95.0..180.0);
+        let dbp: f64 = sbp - rng.gen_range(30.0..60.0);
+        let dose: f64 = rng.gen_range(1.0..12.0);
+        let n_drugs: i64 = rng.gen_range(1..9);
+        let creatinine: f64 = rng.gen_range(0.5..2.5);
+        let alt: f64 = rng.gen_range(10.0..80.0);
+        // Planted adverse-event signal spanning all silos.
+        let logit = 0.04 * (age - 60.0) + 0.35 * (dose - 6.0) + 1.2 * (creatinine - 1.4)
+            + 0.25 * (n_drugs as f64 - 4.0)
+            + 0.02 * (sbp - 135.0)
+            + rng.gen_range(-1.5..1.5);
+        let label = i64::from(logit > 0.0);
+        patients.push((pid as i64, label, age, weight, sbp, dbp, dose, n_drugs, creatinine, alt));
+    }
+
+    let keep = |rng: &mut rand::rngs::StdRng| !rng.gen_bool(missing);
+    let mut clinic = TableBuilder::new(
+        "clinic",
+        &[
+            ("pid", DataType::Int64),
+            ("adverse_event", DataType::Int64),
+            ("age", DataType::Float64),
+            ("weight", DataType::Float64),
+        ],
+    )
+    .expect("static schema");
+    let mut hospital = TableBuilder::new(
+        "hospital",
+        &[
+            ("pid", DataType::Int64),
+            ("sbp", DataType::Float64),
+            ("dbp", DataType::Float64),
+        ],
+    )
+    .expect("static schema");
+    let mut pharmacy = TableBuilder::new(
+        "pharmacy",
+        &[
+            ("pid", DataType::Int64),
+            ("dose", DataType::Float64),
+            ("n_drugs", DataType::Int64),
+        ],
+    )
+    .expect("static schema");
+    let mut lab = TableBuilder::new(
+        "lab",
+        &[
+            ("pid", DataType::Int64),
+            ("creatinine", DataType::Float64),
+            ("alt", DataType::Float64),
+        ],
+    )
+    .expect("static schema");
+
+    for &(pid, label, age, weight, sbp, dbp, dose, n_drugs, creatinine, alt) in &patients {
+        // The clinic (label holder) keeps everyone; other silos may miss
+        // patients, which is what makes the inner/left distinction matter.
+        clinic = clinic
+            .row(vec![pid.into(), label.into(), age.into(), weight.into()])
+            .expect("generated row");
+        if keep(&mut rng) {
+            hospital = hospital
+                .row(vec![pid.into(), sbp.into(), dbp.into()])
+                .expect("generated row");
+        }
+        if keep(&mut rng) {
+            pharmacy = pharmacy
+                .row(vec![pid.into(), dose.into(), n_drugs.into()])
+                .expect("generated row");
+        }
+        if keep(&mut rng) {
+            lab = lab
+                .row(vec![pid.into(), creatinine.into(), alt.into()])
+                .expect("generated row");
+        }
+    }
+    vec![clinic.build(), hospital.build(), pharmacy.build(), lab.build()]
+}
+
+/// Generates `n_phones` horizontally-partitioned silos for keyboard
+/// next-stroke timing prediction. Every phone table has the schema
+/// `(uid, dwell_ms, flight_ms, pressure, x, y, next_flight_ms)` over its
+/// own disjoint users; the regression target `next_flight_ms` depends
+/// linearly on the features (with noise), identically across phones —
+/// the i.i.d. HFL setting.
+pub fn keyboard_silos(n_phones: usize, rows_per_phone: usize, seed: u64) -> Vec<Table> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_phones);
+    let mut uid = 0i64;
+    for phone in 0..n_phones {
+        let mut t = TableBuilder::new(
+            format!("phone{phone}"),
+            &[
+                ("uid", DataType::Int64),
+                ("dwell_ms", DataType::Float64),
+                ("flight_ms", DataType::Float64),
+                ("pressure", DataType::Float64),
+                ("x", DataType::Float64),
+                ("y", DataType::Float64),
+                ("next_flight_ms", DataType::Float64),
+            ],
+        )
+        .expect("static schema");
+        for _ in 0..rows_per_phone {
+            let dwell: f64 = rng.gen_range(40.0..180.0);
+            let flight: f64 = rng.gen_range(50.0..400.0);
+            let pressure: f64 = rng.gen_range(0.1..1.0);
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..1.0);
+            // Shared ground-truth model across phones.
+            let next = 0.6 * flight + 0.3 * dwell - 40.0 * pressure + 15.0 * x + 5.0 * y
+                + rng.gen_range(-10.0..10.0);
+            t = t
+                .row(vec![
+                    uid.into(),
+                    dwell.into(),
+                    flight.into(),
+                    pressure.into(),
+                    x.into(),
+                    y.into(),
+                    next.into(),
+                ])
+                .expect("generated row");
+            uid += 1;
+        }
+        out.push(t.build());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalur_relational::Value;
+
+    #[test]
+    fn drug_risk_schema_and_sizes() {
+        let silos = drug_risk_silos(200, 0.1, 1);
+        assert_eq!(silos.len(), 4);
+        assert_eq!(silos[0].name(), "clinic");
+        assert_eq!(silos[0].num_rows(), 200); // clinic keeps everyone
+        for t in &silos[1..] {
+            assert!(t.num_rows() <= 200);
+            assert!(t.num_rows() >= 150, "{} unexpectedly small", t.name());
+            assert!(t.schema().contains("pid"));
+        }
+    }
+
+    #[test]
+    fn drug_risk_labels_binary_and_balanced_enough() {
+        let silos = drug_risk_silos(500, 0.0, 2);
+        let clinic = &silos[0];
+        let mut ones = 0;
+        for i in 0..clinic.num_rows() {
+            match clinic.value(i, "adverse_event").unwrap() {
+                Value::Int(1) => ones += 1,
+                Value::Int(0) => {}
+                other => panic!("bad label {other:?}"),
+            }
+        }
+        assert!(ones > 100 && ones < 400, "label balance off: {ones}/500");
+    }
+
+    #[test]
+    fn drug_risk_no_missing_means_full_silos() {
+        let silos = drug_risk_silos(50, 0.0, 3);
+        for t in &silos {
+            assert_eq!(t.num_rows(), 50);
+        }
+    }
+
+    #[test]
+    fn keyboard_silos_are_disjoint_and_uniform() {
+        let silos = keyboard_silos(3, 40, 4);
+        assert_eq!(silos.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for t in &silos {
+            assert_eq!(t.num_rows(), 40);
+            assert_eq!(t.num_cols(), 7);
+            for i in 0..t.num_rows() {
+                let uid = t.value(i, "uid").unwrap().as_i64().unwrap();
+                assert!(seen.insert(uid), "uid {uid} duplicated across phones");
+            }
+        }
+    }
+
+    #[test]
+    fn keyboard_target_has_planted_signal() {
+        // Fitting OLS on one phone should give R² close to 1.
+        let silos = keyboard_silos(1, 300, 5);
+        let t = &silos[0];
+        let x = t
+            .to_matrix(&["dwell_ms", "flight_ms", "pressure", "x", "y"], 0.0)
+            .unwrap();
+        let y = t.to_matrix(&["next_flight_ms"], 0.0).unwrap();
+        // Normal equations via the matrix substrate.
+        let gram = x.gram();
+        let xty = x.transpose_matmul(&y).unwrap();
+        let theta = gram.solve(&xty).unwrap();
+        let pred = x.matmul(&theta).unwrap();
+        let resid = pred.sub(&y).unwrap().frobenius_norm_sq();
+        let mean = y.mean();
+        let total: f64 = y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum();
+        let r2 = 1.0 - resid / total;
+        assert!(r2 > 0.9, "R² = {r2}");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = drug_risk_silos(20, 0.2, 7);
+        let b = drug_risk_silos(20, 0.2, 7);
+        assert_eq!(a[1].num_rows(), b[1].num_rows());
+        let ka = keyboard_silos(2, 5, 8);
+        let kb = keyboard_silos(2, 5, 8);
+        assert_eq!(
+            ka[0].value(0, "dwell_ms").unwrap(),
+            kb[0].value(0, "dwell_ms").unwrap()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Factorized linear algebra over data silos (§IV of the paper).
+//!
+//! Instead of joining source tables into the target table `T` and running
+//! linear algebra on it (*materialization*), Amalur pushes computation
+//! down to the sources (*factorization*) using the DI metadata matrices:
+//!
+//! ```text
+//! T X → I₁D₁M₁ᵀX + ((I₂D₂M₂ᵀ) ∘ R₂) X            (Amalur, Eq. 2)
+//! T X → I₁(D₁X[1:c_S1,]) + I₂(D₂X[c_S1+1:c_T,])    (Morpheus, Eq. 1)
+//! ```
+//!
+//! The central type is [`FactorizedTable`]: source data matrices `Dₖ`
+//! plus [`DiMetadata`]. Each linear-algebra operator is provided in three
+//! strategies (see [`Strategy`]):
+//!
+//! * **Compressed** — gather/scatter kernels over the compressed vectors
+//!   `CMₖ`/`CIₖ`, with a structured redundancy correction that never
+//!   materializes the `r_T × c_T` intermediates. This is Amalur's
+//!   physical-level execution (§III-D).
+//! * **Sparse** — the literal Equation (2): expand `Mₖ`/`Iₖ` to CSR,
+//!   form `Tₖ = IₖDₖMₖᵀ`, Hadamard with `Rₖ`. Used as the readable
+//!   reference implementation and the ablation baseline.
+//! * **Morpheus** — the Equation (1) baseline, correct only when sources
+//!   do not overlap in columns or rows; the tests demonstrate exactly
+//!   where it breaks (the paper's motivation for Eq. 2).
+//!
+//! The [`LinOps`] trait abstracts "a design matrix you can train on" so
+//! ML algorithms run unchanged over materialized ([`DenseMatrix`]) or
+//! factorized ([`FactorizedTable`]) data — the paper's guarantee that
+//! "factorized learning does not affect model training accuracy".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod linops;
+mod rewrite;
+mod table;
+
+pub use error::{FactorizeError, Result};
+pub use linops::LinOps;
+pub use rewrite::Strategy;
+pub use table::FactorizedTable;
+
+pub use amalur_integration::DiMetadata;
+pub use amalur_matrix::DenseMatrix;

@@ -1,0 +1,154 @@
+//! The [`LinOps`] abstraction: one training loop, two execution regimes.
+//!
+//! ML algorithms in `amalur-ml` are written against this trait, so the
+//! *same* gradient-descent code trains on a materialized target table
+//! (a [`DenseMatrix`]) or a [`FactorizedTable`] — which is how the paper
+//! can claim factorization "does not affect model training accuracy"
+//! while changing the execution strategy underneath.
+
+use crate::table::FactorizedTable;
+use crate::{Result, Strategy};
+use amalur_matrix::DenseMatrix;
+
+/// A design matrix that supports the operators ML training needs.
+pub trait LinOps {
+    /// Number of examples (rows of the design matrix).
+    fn n_rows(&self) -> usize;
+
+    /// Number of features (columns of the design matrix).
+    fn n_cols(&self) -> usize;
+
+    /// `T · x` where `x` is `n_cols × k` — the prediction operator.
+    ///
+    /// # Errors
+    /// Shape mismatch.
+    fn mul_right(&self, x: &DenseMatrix) -> Result<DenseMatrix>;
+
+    /// `Tᵀ · x` where `x` is `n_rows × k` — the gradient operator.
+    ///
+    /// # Errors
+    /// Shape mismatch.
+    fn t_mul(&self, x: &DenseMatrix) -> Result<DenseMatrix>;
+
+    /// Gram matrix `TᵀT` (`n_cols × n_cols`) — the normal-equations
+    /// operator for closed-form solvers.
+    fn gram_matrix(&self) -> DenseMatrix;
+
+    /// Column sums `1ᵀT` — used for centering and K-Means updates.
+    fn column_sums(&self) -> Vec<f64>;
+
+    /// Per-row squared norms `‖T[i,:]‖²` — used by K-Means distances and
+    /// GNMF loss.
+    fn row_norms_sq(&self) -> Vec<f64>;
+}
+
+impl LinOps for DenseMatrix {
+    fn n_rows(&self) -> usize {
+        self.rows()
+    }
+
+    fn n_cols(&self) -> usize {
+        self.cols()
+    }
+
+    fn mul_right(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        Ok(self.matmul(x)?)
+    }
+
+    fn t_mul(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        Ok(self.transpose_matmul(x)?)
+    }
+
+    fn gram_matrix(&self) -> DenseMatrix {
+        self.gram()
+    }
+
+    fn column_sums(&self) -> Vec<f64> {
+        self.col_sums()
+    }
+
+    fn row_norms_sq(&self) -> Vec<f64> {
+        self.row_iter()
+            .map(|r| r.iter().map(|v| v * v).sum())
+            .collect()
+    }
+}
+
+impl LinOps for FactorizedTable {
+    fn n_rows(&self) -> usize {
+        self.target_shape().0
+    }
+
+    fn n_cols(&self) -> usize {
+        self.target_shape().1
+    }
+
+    fn mul_right(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.lmm(x, Strategy::Compressed)
+    }
+
+    fn t_mul(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.lmm_transpose(x, Strategy::Compressed)
+    }
+
+    fn gram_matrix(&self) -> DenseMatrix {
+        self.gram()
+    }
+
+    fn column_sums(&self) -> Vec<f64> {
+        self.col_sums()
+    }
+
+    fn row_norms_sq(&self) -> Vec<f64> {
+        FactorizedTable::row_norms_sq(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::tests::{figure2d_target, running_example};
+
+    /// A generic function over LinOps must produce identical results for
+    /// the materialized and factorized representations.
+    fn predict<L: LinOps>(data: &L, theta: &DenseMatrix) -> DenseMatrix {
+        data.mul_right(theta).unwrap()
+    }
+
+    #[test]
+    fn trait_object_dimensions() {
+        let ft = running_example();
+        let t = figure2d_target();
+        assert_eq!(ft.n_rows(), t.n_rows());
+        assert_eq!(ft.n_cols(), t.n_cols());
+    }
+
+    #[test]
+    fn generic_code_agrees_across_backends() {
+        let ft = running_example();
+        let t = figure2d_target();
+        let theta = DenseMatrix::from_rows(&[vec![0.1], vec![0.2], vec![-0.3], vec![0.4]])
+            .unwrap();
+        let via_fact = predict(&ft, &theta);
+        let via_mat = predict(&t, &theta);
+        assert!(via_fact.approx_eq(&via_mat, 1e-9));
+
+        let r = DenseMatrix::ones(6, 1);
+        assert!(ft.t_mul(&r).unwrap().approx_eq(&t.t_mul(&r).unwrap(), 1e-9));
+        assert!(ft.gram_matrix().approx_eq(&t.gram_matrix(), 1e-9));
+        for (a, b) in ft.column_sums().iter().zip(t.column_sums()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in LinOps::row_norms_sq(&ft).iter().zip(t.row_norms_sq()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dyn_compatible() {
+        // The trait must stay usable as a trait object for the optimizer.
+        let t = figure2d_target();
+        let obj: &dyn LinOps = &t;
+        assert_eq!(obj.n_rows(), 6);
+    }
+}

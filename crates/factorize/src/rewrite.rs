@@ -1,0 +1,702 @@
+//! The factorized rewrite rules (§IV-A).
+//!
+//! Every operator comes in three strategies. Writing `T̃ₖ = Tₖ ∘ Rₖ`
+//! (the redundancy-masked contribution of source `k`, with
+//! `Tₖ = IₖDₖMₖᵀ`), the identities implemented here are:
+//!
+//! * **LMM** `T·X    = Σₖ T̃ₖ X` — Equation (2) of the paper.
+//! * **transpose-LMM** `Tᵀ·X = Σₖ T̃ₖᵀ X`.
+//! * **RMM** `X·T    = (Tᵀ Xᵀ)ᵀ`.
+//! * **column sums** `1ᵀT = Σₖ 1ᵀT̃ₖ`, **row sums** `T·1`.
+//!
+//! The compressed strategy computes `T̃ₖ X` as
+//! `gather_rows(Dₖ · scatter(X)) − correction` where the correction
+//! subtracts the redundant cells recorded in `Rₖ`'s zero blocks — no
+//! `r_T × c_T` intermediate is ever formed.
+
+use crate::table::FactorizedTable;
+use crate::{FactorizeError, Result};
+use amalur_matrix::{DenseMatrix, NO_MATCH};
+
+/// Execution strategy for the factorized operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Gather/scatter over compressed metadata with structured redundancy
+    /// correction — Amalur's efficient physical plan.
+    Compressed,
+    /// Literal Equation (2): expand `Mₖ`/`Iₖ`, build `Tₖ`, Hadamard with
+    /// the dense `Rₖ`. Readable, O(`r_T·c_T`) per source.
+    Sparse,
+    /// The Morpheus baseline, Equation (1): assumes sources partition the
+    /// target columns and never overlap. Fast when the assumption holds,
+    /// *wrong* otherwise (this is what the Amalur rewrite fixes).
+    Morpheus,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::Compressed => "compressed",
+            Strategy::Sparse => "sparse",
+            Strategy::Morpheus => "morpheus",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FactorizedTable {
+    /// Left matrix multiplication `T · X` where `X` is `c_T × n`.
+    ///
+    /// # Errors
+    /// Shape errors, or [`FactorizeError::UnsupportedByStrategy`] when the
+    /// Morpheus rule is requested for overlapping sources.
+    pub fn lmm(&self, x: &DenseMatrix, strategy: Strategy) -> Result<DenseMatrix> {
+        let (rows, cols) = self.target_shape();
+        if x.rows() != cols {
+            return Err(FactorizeError::OperandMismatch {
+                op: "lmm",
+                expected: (cols, x.cols()),
+                found: x.shape(),
+            });
+        }
+        match strategy {
+            Strategy::Compressed => self.lmm_compressed(x, rows),
+            Strategy::Sparse => self.lmm_sparse(x, rows),
+            Strategy::Morpheus => {
+                self.ensure_disjoint("lmm")?;
+                self.lmm_morpheus(x, rows)
+            }
+        }
+    }
+
+    /// Transposed multiplication `Tᵀ · X` where `X` is `r_T × n`.
+    ///
+    /// This is the gradient-side operator of every GD-trained model
+    /// (`Xᵀ·residual`).
+    ///
+    /// # Errors
+    /// Shape errors, or strategy errors as in [`Self::lmm`].
+    pub fn lmm_transpose(&self, x: &DenseMatrix, strategy: Strategy) -> Result<DenseMatrix> {
+        let (rows, cols) = self.target_shape();
+        if x.rows() != rows {
+            return Err(FactorizeError::OperandMismatch {
+                op: "lmm_transpose",
+                expected: (rows, x.cols()),
+                found: x.shape(),
+            });
+        }
+        match strategy {
+            Strategy::Compressed => self.lmm_t_compressed(x, cols),
+            Strategy::Sparse => self.lmm_t_sparse(x, cols),
+            Strategy::Morpheus => {
+                self.ensure_disjoint("lmm_transpose")?;
+                self.lmm_t_morpheus(x, cols)
+            }
+        }
+    }
+
+    /// Right matrix multiplication `X · T` where `X` is `n × r_T`,
+    /// computed as `(Tᵀ Xᵀ)ᵀ`.
+    ///
+    /// # Errors
+    /// Shape errors, or strategy errors as in [`Self::lmm`].
+    pub fn rmm(&self, x: &DenseMatrix, strategy: Strategy) -> Result<DenseMatrix> {
+        let (rows, _) = self.target_shape();
+        if x.cols() != rows {
+            return Err(FactorizeError::OperandMismatch {
+                op: "rmm",
+                expected: (x.rows(), rows),
+                found: x.shape(),
+            });
+        }
+        Ok(self.lmm_transpose(&x.transpose(), strategy)?.transpose())
+    }
+
+    /// Gram matrix `TᵀT`, streamed row-by-row so only `O(c_T²)` extra
+    /// memory is used (never the materialized `T`).
+    pub fn gram(&self) -> DenseMatrix {
+        let (rows, cols) = self.target_shape();
+        let mut g = DenseMatrix::zeros(cols, cols);
+        let mut row_buf = vec![0.0; cols];
+        // Pre-extract per-source iteration state.
+        let per_source: Vec<_> = self
+            .metadata()
+            .sources
+            .iter()
+            .zip(self.source_data())
+            .map(|(s, d)| {
+                (
+                    s.indicator.compressed(),
+                    s.mapping.compressed(),
+                    s.redundancy.zero_cells_by_row(),
+                    d,
+                )
+            })
+            .collect();
+        for i in 0..rows {
+            row_buf.iter_mut().for_each(|v| *v = 0.0);
+            for (ci, cm, zeros, d) in &per_source {
+                let src_row = ci[i];
+                if src_row == NO_MATCH {
+                    continue;
+                }
+                let zero_cols: &[usize] = zeros
+                    .binary_search_by_key(&i, |(r, _)| *r)
+                    .map(|p| zeros[p].1.as_slice())
+                    .unwrap_or(&[]);
+                let d_row = d.row(src_row as usize);
+                for (t, &src_col) in cm.iter().enumerate() {
+                    if src_col == NO_MATCH || zero_cols.binary_search(&t).is_ok() {
+                        continue;
+                    }
+                    row_buf[t] += d_row[src_col as usize];
+                }
+            }
+            // Rank-1 update G += row·rowᵀ (upper triangle).
+            for a in 0..cols {
+                let va = row_buf[a];
+                if va == 0.0 {
+                    continue;
+                }
+                let g_row = g.row_mut(a);
+                for b in a..cols {
+                    g_row[b] += va * row_buf[b];
+                }
+            }
+        }
+        // Mirror to the lower triangle.
+        for a in 0..cols {
+            for b in 0..a {
+                let v = g.get(b, a);
+                g.set(a, b, v);
+            }
+        }
+        g
+    }
+
+    /// Column sums `1ᵀT` without materialization.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let (_, cols) = self.target_shape();
+        let mut out = vec![0.0; cols];
+        for (s, d) in self.metadata().sources.iter().zip(self.source_data()) {
+            let cm = s.mapping.compressed();
+            let ci = s.indicator.compressed();
+            // Count how many times each source row contributes.
+            let mut row_counts = vec![0usize; d.rows()];
+            for &sr in ci {
+                if sr != NO_MATCH {
+                    row_counts[sr as usize] += 1;
+                }
+            }
+            for (t, &sc) in cm.iter().enumerate() {
+                if sc == NO_MATCH {
+                    continue;
+                }
+                let sc = sc as usize;
+                let mut total = 0.0;
+                for (r, &count) in row_counts.iter().enumerate() {
+                    if count > 0 {
+                        total += d.get(r, sc) * count as f64;
+                    }
+                }
+                out[t] += total;
+            }
+            // Subtract redundant cells.
+            for &(i, ref zero_cols) in s.redundancy.zero_cells_by_row() {
+                let sr = ci[i];
+                if sr == NO_MATCH {
+                    continue;
+                }
+                for &t in zero_cols {
+                    let sc = cm[t];
+                    if sc != NO_MATCH {
+                        out[t] -= d.get(sr as usize, sc as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Row sums `T·1` without materialization.
+    pub fn row_sums(&self) -> Vec<f64> {
+        let ones = DenseMatrix::ones(self.target_shape().1, 1);
+        self.lmm(&ones, Strategy::Compressed)
+            .expect("shape is correct by construction")
+            .into_vec()
+    }
+
+    /// Sum of all target cells.
+    pub fn total_sum(&self) -> f64 {
+        self.col_sums().iter().sum()
+    }
+
+    // --- Compressed strategy ---------------------------------------------
+
+    fn lmm_compressed(&self, x: &DenseMatrix, rows: usize) -> Result<DenseMatrix> {
+        let n = x.cols();
+        let mut out = DenseMatrix::zeros(rows, n);
+        for (s, d) in self.metadata().sources.iter().zip(self.source_data()) {
+            // Mₖᵀ X: scatter X's target-column rows into source-column rows.
+            let xk = x.scatter_rows_add(s.mapping.compressed(), s.mapping.source_cols())?;
+            // Dₖ (Mₖᵀ X)
+            let local = d.matmul(&xk)?;
+            // Iₖ (...): gather into target rows, accumulating into out.
+            let ci = s.indicator.compressed();
+            if n == 1 {
+                // Column fast path: direct indexed accumulation.
+                let src = local.as_slice();
+                let dst = out.as_mut_slice();
+                for (o, &src_row) in dst.iter_mut().zip(ci) {
+                    if src_row != NO_MATCH {
+                        *o += src[src_row as usize];
+                    }
+                }
+            } else {
+                for (i, &src_row) in ci.iter().enumerate() {
+                    if src_row == NO_MATCH {
+                        continue;
+                    }
+                    let src = local.row(src_row as usize);
+                    let dst = out.row_mut(i);
+                    for (dv, &sv) in dst.iter_mut().zip(src) {
+                        *dv += sv;
+                    }
+                }
+            }
+            // Redundancy correction: subtract Σ_{j ∈ zeros(i)} Dₖ[ci,cm[j]]·X[j,:].
+            let cm = s.mapping.compressed();
+            for &(i, ref zero_cols) in s.redundancy.zero_cells_by_row() {
+                let src_row = ci[i];
+                if src_row == NO_MATCH {
+                    continue;
+                }
+                let d_row = d.row(src_row as usize);
+                let dst = out.row_mut(i);
+                for &j in zero_cols {
+                    let sc = cm[j];
+                    if sc == NO_MATCH {
+                        continue;
+                    }
+                    let coef = d_row[sc as usize];
+                    if coef == 0.0 {
+                        continue;
+                    }
+                    let x_row = x.row(j);
+                    for (dv, &xv) in dst.iter_mut().zip(x_row) {
+                        *dv -= coef * xv;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn lmm_t_compressed(&self, x: &DenseMatrix, cols: usize) -> Result<DenseMatrix> {
+        let n = x.cols();
+        let mut out = DenseMatrix::zeros(cols, n);
+        for (s, d) in self.metadata().sources.iter().zip(self.source_data()) {
+            // Iₖᵀ X: scatter target rows into source rows.
+            let xk = x.scatter_rows_add(s.indicator.compressed(), s.indicator.source_rows())?;
+            // Dₖᵀ (Iₖᵀ X)
+            let local = d.transpose_matmul(&xk)?;
+            // Mₖ (...): gather source-column rows into target-column rows.
+            let cm = s.mapping.compressed();
+            for (t, &src_col) in cm.iter().enumerate() {
+                if src_col == NO_MATCH {
+                    continue;
+                }
+                let src = local.row(src_col as usize);
+                let dst = out.row_mut(t);
+                for (dv, &sv) in dst.iter_mut().zip(src) {
+                    *dv += sv;
+                }
+            }
+            // Redundancy correction: out[j,:] -= Dₖ[ci,cm[j]] · X[i,:].
+            let ci = s.indicator.compressed();
+            for &(i, ref zero_cols) in s.redundancy.zero_cells_by_row() {
+                let src_row = ci[i];
+                if src_row == NO_MATCH {
+                    continue;
+                }
+                let d_row = d.row(src_row as usize);
+                let x_row_start = i * x.cols();
+                for &j in zero_cols {
+                    let sc = cm[j];
+                    if sc == NO_MATCH {
+                        continue;
+                    }
+                    let coef = d_row[sc as usize];
+                    if coef == 0.0 {
+                        continue;
+                    }
+                    let x_row = &x.as_slice()[x_row_start..x_row_start + n];
+                    let dst = out.row_mut(j);
+                    for (dv, &xv) in dst.iter_mut().zip(x_row) {
+                        *dv -= coef * xv;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // --- Sparse strategy (literal Equation 2) ------------------------------
+
+    fn masked_intermediate(&self, k: usize) -> Result<DenseMatrix> {
+        let s = &self.metadata().sources[k];
+        let tk = self.intermediate(k)?;
+        if s.redundancy.is_all_ones() {
+            return Ok(tk);
+        }
+        Ok(tk.hadamard(&s.redundancy.to_dense())?)
+    }
+
+    fn lmm_sparse(&self, x: &DenseMatrix, rows: usize) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(rows, x.cols());
+        for k in 0..self.num_sources() {
+            let masked = self.masked_intermediate(k)?;
+            out.add_assign(&masked.matmul(x)?)?;
+        }
+        Ok(out)
+    }
+
+    fn lmm_t_sparse(&self, x: &DenseMatrix, cols: usize) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(cols, x.cols());
+        for k in 0..self.num_sources() {
+            let masked = self.masked_intermediate(k)?;
+            out.add_assign(&masked.transpose_matmul(x)?)?;
+        }
+        Ok(out)
+    }
+
+    // --- Morpheus strategy (Equation 1 baseline) ---------------------------
+
+    /// Errors when any source pair overlaps in target rows or columns —
+    /// the situations rule (1) silently gets wrong.
+    fn ensure_disjoint(&self, op: &str) -> Result<()> {
+        let sources = &self.metadata().sources;
+        for source in sources.iter().skip(1) {
+            if !source.redundancy.is_all_ones() {
+                return Err(FactorizeError::UnsupportedByStrategy(format!(
+                    "{op}: Morpheus rule (1) assumes disjoint sources, but source {} \
+                     has {} redundant cells (use Strategy::Compressed)",
+                    source.name,
+                    source.redundancy.zero_count()
+                )));
+            }
+        }
+        // Columns must also not overlap even when no row overlaps (a union
+        // over shared columns double-counts nothing, so allow it).
+        Ok(())
+    }
+
+    fn lmm_morpheus(&self, x: &DenseMatrix, rows: usize) -> Result<DenseMatrix> {
+        // Iₖ(Dₖ · X[mapped cols of k, ]) — the partition X[1:c_S1,] etc. of
+        // rule (1) generalized to explicit per-source column lists.
+        let mut out = DenseMatrix::zeros(rows, x.cols());
+        for (s, d) in self.metadata().sources.iter().zip(self.source_data()) {
+            let xk = x.scatter_rows_add(s.mapping.compressed(), s.mapping.source_cols())?;
+            let local = d.matmul(&xk)?;
+            let lifted = local.gather_rows(s.indicator.compressed())?;
+            out.add_assign(&lifted)?;
+        }
+        Ok(out)
+    }
+
+    fn lmm_t_morpheus(&self, x: &DenseMatrix, cols: usize) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(cols, x.cols());
+        for (s, d) in self.metadata().sources.iter().zip(self.source_data()) {
+            let xk = x.scatter_rows_add(s.indicator.compressed(), s.indicator.source_rows())?;
+            let local = d.transpose_matmul(&xk)?;
+            let lifted = local.gather_rows(s.mapping.compressed())?;
+            out.add_assign(&lifted)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::tests::{figure2d_target, running_example};
+    use amalur_integration::{
+        DiMetadata, IndicatorMatrix, MappingMatrix, RedundancyMatrix, SourceMetadata,
+    };
+    use proptest::prelude::{prop_assert, proptest, ProptestConfig};
+    use rand::SeedableRng;
+
+    fn x_for(cols: usize, n: usize, seed: u64) -> DenseMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        DenseMatrix::random_uniform(cols, n, -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn figure4c_lmm_rewrite() {
+        // Figure 4c uses X = [[6,2],[5,2],[2,4],[3,9]]ᵀ-ish; we check the
+        // exact example: T X with the compressed rewrite equals the
+        // materialized product.
+        let ft = running_example();
+        let x = DenseMatrix::from_rows(&[
+            vec![6.0, 5.0],
+            vec![3.0, 2.0],
+            vec![2.0, 2.0],
+            vec![4.0, 2.0],
+        ])
+        .unwrap();
+        let reference = figure2d_target().matmul(&x).unwrap();
+        let fact = ft.lmm(&x, Strategy::Compressed).unwrap();
+        assert!(fact.approx_eq(&reference, 1e-9));
+        let sparse = ft.lmm(&x, Strategy::Sparse).unwrap();
+        assert!(sparse.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn morpheus_rule_is_wrong_on_overlap() {
+        // The running example has overlapping rows AND columns: rule (1)
+        // either errors (our guard) — the paper's motivation for rule (2).
+        let ft = running_example();
+        let x = x_for(4, 2, 7);
+        let err = ft.lmm(&x, Strategy::Morpheus).unwrap_err();
+        assert!(matches!(err, FactorizeError::UnsupportedByStrategy(_)));
+    }
+
+    /// A Morpheus-style configuration: disjoint columns, PK–FK rows.
+    fn disjoint_example() -> FactorizedTable {
+        // Fact table D1 (5×2) with rows mapping 1:1; dimension D2 (2×3)
+        // with fan-out rows (PK–FK): target row i uses dim row i % 2.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let d1 = DenseMatrix::random_uniform(5, 2, -1.0, 1.0, &mut rng);
+        let d2 = DenseMatrix::random_uniform(2, 3, -1.0, 1.0, &mut rng);
+        let cm1 = MappingMatrix::new(vec![0, 1, NO_MATCH, NO_MATCH, NO_MATCH], 2).unwrap();
+        let cm2 = MappingMatrix::new(vec![NO_MATCH, NO_MATCH, 0, 1, 2], 3).unwrap();
+        let ci1 = IndicatorMatrix::new(vec![0, 1, 2, 3, 4], 5).unwrap();
+        let ci2 = IndicatorMatrix::new(vec![0, 1, 0, 1, 0], 2).unwrap();
+        let r1 = RedundancyMatrix::all_ones(5, 5);
+        let r2 = RedundancyMatrix::against_earlier(&[(&ci1, &cm1)], &ci2, &cm2).unwrap();
+        assert!(r2.is_all_ones()); // no overlap ⇒ Morpheus assumption holds
+        let metadata = DiMetadata {
+            target_columns: vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()],
+            target_rows: 5,
+            sources: vec![
+                SourceMetadata {
+                    name: "fact".into(),
+                    mapped_columns: vec!["a".into(), "b".into()],
+                    mapping: cm1,
+                    indicator: ci1,
+                    redundancy: r1,
+                },
+                SourceMetadata {
+                    name: "dim".into(),
+                    mapped_columns: vec!["c".into(), "d".into(), "e".into()],
+                    mapping: cm2,
+                    indicator: ci2,
+                    redundancy: r2,
+                },
+            ],
+        };
+        FactorizedTable::new(metadata, vec![d1, d2]).unwrap()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_disjoint_sources() {
+        let ft = disjoint_example();
+        let t = ft.materialize();
+        let x = x_for(5, 3, 1);
+        let reference = t.matmul(&x).unwrap();
+        for s in [Strategy::Compressed, Strategy::Sparse, Strategy::Morpheus] {
+            let got = ft.lmm(&x, s).unwrap();
+            assert!(got.approx_eq(&reference, 1e-9), "strategy {s} diverged");
+        }
+        let y = x_for(5, 2, 2);
+        let reference_t = t.transpose().matmul(&y).unwrap();
+        for s in [Strategy::Compressed, Strategy::Sparse, Strategy::Morpheus] {
+            let got = ft.lmm_transpose(&y, s).unwrap();
+            assert!(got.approx_eq(&reference_t, 1e-9), "strategy {s} diverged");
+        }
+    }
+
+    #[test]
+    fn lmm_transpose_matches_materialized() {
+        let ft = running_example();
+        let x = x_for(6, 3, 3);
+        let reference = figure2d_target().transpose().matmul(&x).unwrap();
+        for s in [Strategy::Compressed, Strategy::Sparse] {
+            assert!(ft.lmm_transpose(&x, s).unwrap().approx_eq(&reference, 1e-9));
+        }
+    }
+
+    #[test]
+    fn rmm_matches_materialized() {
+        let ft = running_example();
+        let x = x_for(2, 6, 4).transpose().transpose(); // 2×6
+        let x = x.slice(0..2, 0..6).unwrap();
+        let reference = x.matmul(&figure2d_target()).unwrap();
+        let got = ft.rmm(&x, Strategy::Compressed).unwrap();
+        assert!(got.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn gram_matches_materialized() {
+        let ft = running_example();
+        let t = figure2d_target();
+        let reference = t.gram();
+        assert!(ft.gram().approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn sums_match_materialized() {
+        let ft = running_example();
+        let t = figure2d_target();
+        let cs = ft.col_sums();
+        for (a, b) in cs.iter().zip(t.col_sums()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let rs = ft.row_sums();
+        for (a, b) in rs.iter().zip(t.row_sums()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!((ft.total_sum() - t.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let ft = running_example();
+        let bad = DenseMatrix::zeros(3, 2);
+        assert!(ft.lmm(&bad, Strategy::Compressed).is_err());
+        assert!(ft.lmm_transpose(&bad, Strategy::Compressed).is_err());
+        assert!(ft.rmm(&DenseMatrix::zeros(2, 5), Strategy::Compressed).is_err());
+    }
+
+    #[test]
+    fn pk_fk_fanout_duplicates_dimension_rows() {
+        // Classic Morpheus setting: the dimension row is reused by many
+        // target rows; column sums must weight by the fan-out.
+        let ft = disjoint_example();
+        let t = ft.materialize();
+        let cs = ft.col_sums();
+        for (a, b) in cs.iter().zip(t.col_sums()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_factorized_lmm_equals_materialized(
+            seed in 0u64..u64::MAX, n in 1usize..4,
+        ) {
+            // Random silo configuration: random sizes, random overlap.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let ft = random_factorized(&mut rng);
+            let t = ft.materialize();
+            let x = DenseMatrix::random_uniform(t.cols(), n, -1.0, 1.0, &mut rng);
+            let reference = t.matmul(&x).unwrap();
+            for s in [Strategy::Compressed, Strategy::Sparse] {
+                prop_assert!(ft.lmm(&x, s).unwrap().approx_eq(&reference, 1e-9));
+            }
+            let y = DenseMatrix::random_uniform(t.rows(), n, -1.0, 1.0, &mut rng);
+            let reference_t = t.transpose().matmul(&y).unwrap();
+            for s in [Strategy::Compressed, Strategy::Sparse] {
+                prop_assert!(ft.lmm_transpose(&y, s).unwrap().approx_eq(&reference_t, 1e-9));
+            }
+            prop_assert!(ft.gram().approx_eq(&t.gram(), 1e-8));
+        }
+    }
+
+    /// Generates a random two-source factorized table with row and column
+    /// overlaps (full-outer-join shape).
+    fn random_factorized(rng: &mut rand::rngs::StdRng) -> FactorizedTable {
+        use rand::Rng;
+        let r1 = rng.gen_range(1..8);
+        let r2 = rng.gen_range(1..8);
+        let shared_cols = rng.gen_range(0..3usize);
+        let own1 = rng.gen_range(1..4usize);
+        let own2 = rng.gen_range(1..4usize);
+        let c1 = shared_cols + own1;
+        let c2 = shared_cols + own2;
+        let ct = shared_cols + own1 + own2;
+        // Row matching: each left row matches a distinct right row with p=0.5.
+        let matched: Vec<(usize, usize)> = (0..r1.min(r2))
+            .filter(|_| rng.gen_bool(0.5))
+            .enumerate()
+            .map(|(j, _)| (j, j))
+            .collect();
+        let matched_right: Vec<bool> = {
+            let mut v = vec![false; r2];
+            for &(_, r) in &matched {
+                v[r] = true;
+            }
+            v
+        };
+        let rt = r1 + r2 - matched.len();
+        // CI1: left rows 0..r1 then -1s.
+        let mut ci1: Vec<i64> = (0..r1 as i64).collect();
+        ci1.extend(std::iter::repeat_n(NO_MATCH, rt - r1));
+        // CI2: matched rows at left positions, unmatched appended.
+        let mut ci2: Vec<i64> = vec![NO_MATCH; rt];
+        for &(l, r) in &matched {
+            ci2[l] = r as i64;
+        }
+        let mut tail = r1;
+        for (r, &m) in matched_right.iter().enumerate() {
+            if !m {
+                ci2[tail] = r as i64;
+                tail += 1;
+            }
+        }
+        // CM1: shared cols then own1; CM2: shared cols then own2 at the end.
+        let mut cm1: Vec<i64> = Vec::with_capacity(ct);
+        let mut cm2: Vec<i64> = Vec::with_capacity(ct);
+        for j in 0..ct {
+            if j < shared_cols {
+                cm1.push(j as i64);
+                cm2.push(j as i64);
+            } else if j < shared_cols + own1 {
+                cm1.push(j as i64);
+                cm2.push(NO_MATCH);
+            } else {
+                cm1.push(NO_MATCH);
+                cm2.push((j - own1) as i64);
+            }
+        }
+        // Consistent shared values: build D2 so matched rows agree on
+        // shared columns with D1.
+        let d1 = DenseMatrix::random_uniform(r1, c1, -2.0, 2.0, rng);
+        let mut d2 = DenseMatrix::random_uniform(r2, c2, -2.0, 2.0, rng);
+        for &(l, r) in &matched {
+            for c in 0..shared_cols {
+                d2.set(r, c, d1.get(l, c));
+            }
+        }
+        let mapping1 = MappingMatrix::new(cm1, c1).unwrap();
+        let mapping2 = MappingMatrix::new(cm2, c2).unwrap();
+        let indicator1 = IndicatorMatrix::new(ci1, r1).unwrap();
+        let indicator2 = IndicatorMatrix::new(ci2, r2).unwrap();
+        let red1 = RedundancyMatrix::all_ones(rt, ct);
+        let red2 =
+            RedundancyMatrix::against_earlier(&[(&indicator1, &mapping1)], &indicator2, &mapping2)
+                .unwrap();
+        let metadata = DiMetadata {
+            target_columns: (0..ct).map(|i| format!("c{i}")).collect(),
+            target_rows: rt,
+            sources: vec![
+                SourceMetadata {
+                    name: "L".into(),
+                    mapped_columns: (0..c1).map(|i| format!("l{i}")).collect(),
+                    mapping: mapping1,
+                    indicator: indicator1,
+                    redundancy: red1,
+                },
+                SourceMetadata {
+                    name: "R".into(),
+                    mapped_columns: (0..c2).map(|i| format!("r{i}")).collect(),
+                    mapping: mapping2,
+                    indicator: indicator2,
+                    redundancy: red2,
+                },
+            ],
+        };
+        FactorizedTable::new(metadata, vec![d1, d2]).unwrap()
+    }
+}

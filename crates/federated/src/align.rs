@@ -1,0 +1,159 @@
+//! DI-metadata-driven party alignment (§V-A).
+//!
+//! The paper rewrites the federated objective with the DI matrices:
+//! `X_A = I₁D₁M₁ᵀ` and `X_B = I₂D₂M₂ᵀ` — each party's feature space *is*
+//! its masked intermediate, aligned to the shared target rows. This
+//! module materializes those views (per party, never the whole target),
+//! which is exactly the data preparation VFL frameworks otherwise demand
+//! as manual work.
+
+use crate::{FederatedError, Result};
+use amalur_factorize::FactorizedTable;
+use amalur_matrix::DenseMatrix;
+
+/// One party's aligned view of the integrated data.
+#[derive(Debug, Clone)]
+pub struct PartyView {
+    /// Party (source table) name.
+    pub name: String,
+    /// Feature matrix `(Iₖ Dₖ Mₖᵀ) ∘ Rₖ`, restricted to this source's
+    /// target columns: `target_rows × |own columns|`. Rows this party
+    /// does not cover are zero — the §V-A convention for partially
+    /// overlapping sample spaces.
+    pub features: DenseMatrix,
+    /// Names of the target columns this view carries.
+    pub columns: Vec<String>,
+}
+
+/// Builds the per-party views for every source of a factorized table.
+///
+/// Redundant cells (shared columns owned by an earlier party) are
+/// zeroed, so concatenating all views column-wise reproduces the target
+/// table exactly — the invariant the VFL equivalence tests rely on.
+///
+/// # Errors
+/// Propagates shape errors from the factorized ops.
+pub fn party_views(ft: &FactorizedTable) -> Result<Vec<PartyView>> {
+    let md = ft.metadata();
+    let mut out = Vec::with_capacity(md.sources.len());
+    for (k, s) in md.sources.iter().enumerate() {
+        // Masked intermediate, then keep only this source's columns.
+        let full = ft.intermediate(k)?;
+        let masked = if s.redundancy.is_all_ones() {
+            full
+        } else {
+            let mut m = full;
+            for &(row, ref cols) in s.redundancy.zero_cells_by_row() {
+                for &c in cols {
+                    m.set(row, c, 0.0);
+                }
+            }
+            m
+        };
+        let own_cols = s.mapping.mapped_target_cols();
+        if own_cols.is_empty() {
+            return Err(FederatedError::Misaligned(format!(
+                "source {} maps no target columns",
+                s.name
+            )));
+        }
+        let idx: Vec<i64> = own_cols.iter().map(|&c| c as i64).collect();
+        let features = masked.gather_cols(&idx)?;
+        out.push(PartyView {
+            name: s.name.clone(),
+            features,
+            columns: own_cols
+                .iter()
+                .map(|&c| md.target_columns[c].clone())
+                .collect(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalur_data::TwoSourceSpec;
+
+    fn table(shared_cols: usize) -> FactorizedTable {
+        let spec = TwoSourceSpec {
+            rows_s1: 40,
+            cols_s1: 3,
+            rows_s2: 8,
+            cols_s2: 4,
+            shared_cols,
+            target_redundancy: true,
+            row_coverage: 1.0,
+            source_redundancy: false,
+            seed: 5,
+        };
+        let (md, data) = amalur_data::generate_two_source(&spec).unwrap();
+        FactorizedTable::new(md, data).unwrap()
+    }
+
+    #[test]
+    fn views_have_aligned_rows_and_own_columns() {
+        let ft = table(0);
+        let views = party_views(&ft).unwrap();
+        assert_eq!(views.len(), 2);
+        let (rows, _) = ft.target_shape();
+        assert_eq!(views[0].features.rows(), rows);
+        assert_eq!(views[1].features.rows(), rows);
+        assert_eq!(views[0].features.cols(), 3);
+        assert_eq!(views[1].features.cols(), 4);
+        assert_eq!(views[0].columns, vec!["f0", "f1", "f2"]);
+    }
+
+    #[test]
+    fn concatenated_views_reproduce_target_without_overlap() {
+        let ft = table(0);
+        let views = party_views(&ft).unwrap();
+        let concat = views[0].features.hstack(&views[1].features).unwrap();
+        assert!(concat.approx_eq(&ft.materialize(), 1e-12));
+    }
+
+    #[test]
+    fn overlapping_columns_are_split_not_duplicated() {
+        let ft = table(2);
+        let views = party_views(&ft).unwrap();
+        let t = ft.materialize();
+        // Shared target columns 0..2: party views partition each cell.
+        for shared in 0..2usize {
+            let a = views[0].features.col(shared);
+            // Party 1's view also carries those target columns (its own
+            // first two mapped columns).
+            let b = views[1].features.col(shared);
+            for (i, (va, vb)) in a.iter().zip(&b).enumerate() {
+                let total = t.get(i, shared);
+                assert!(
+                    (va + vb - total).abs() < 1e-9,
+                    "row {i}: {va} + {vb} != {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_of_view_predictions_equals_target_prediction() {
+        // Σₖ Xₖ θₖ = T θ when θ is split by ownership — the §V-A identity.
+        let ft = table(1);
+        let views = party_views(&ft).unwrap();
+        let (_, ct) = ft.target_shape();
+        let theta = DenseMatrix::filled(ct, 1, 0.3);
+        let reference = ft.materialize().matmul(&theta).unwrap();
+        let mut sum = DenseMatrix::zeros(reference.rows(), 1);
+        let md = ft.metadata();
+        for (view, s) in views.iter().zip(&md.sources) {
+            let own = s.mapping.mapped_target_cols();
+            let theta_k = DenseMatrix::from_vec(
+                own.len(),
+                1,
+                own.iter().map(|&c| theta.get(c, 0)).collect(),
+            )
+            .unwrap();
+            sum.add_assign(&view.features.matmul(&theta_k).unwrap()).unwrap();
+        }
+        assert!(sum.approx_eq(&reference, 1e-9));
+    }
+}

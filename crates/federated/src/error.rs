@@ -1,0 +1,67 @@
+//! Error type for federated training.
+
+use std::fmt;
+
+/// Convenience alias for federated results.
+pub type Result<T> = std::result::Result<T, FederatedError>;
+
+/// Errors produced by the federated substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FederatedError {
+    /// Parties disagree on the number of aligned rows, or labels mismatch.
+    Misaligned(String),
+    /// Invalid configuration (no parties, zero epochs, bad privacy params).
+    InvalidConfig(String),
+    /// A party disconnected or sent an unexpected message.
+    Protocol(String),
+    /// Error bubbled up from the crypto layer.
+    Crypto(String),
+    /// Error bubbled up from the compute layer.
+    Compute(String),
+}
+
+impl fmt::Display for FederatedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederatedError::Misaligned(m) => write!(f, "misaligned parties: {m}"),
+            FederatedError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            FederatedError::Protocol(m) => write!(f, "protocol error: {m}"),
+            FederatedError::Crypto(m) => write!(f, "crypto error: {m}"),
+            FederatedError::Compute(m) => write!(f, "compute error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FederatedError {}
+
+impl From<amalur_crypto::CryptoError> for FederatedError {
+    fn from(e: amalur_crypto::CryptoError) -> Self {
+        FederatedError::Crypto(e.to_string())
+    }
+}
+
+impl From<amalur_matrix::MatrixError> for FederatedError {
+    fn from(e: amalur_matrix::MatrixError) -> Self {
+        FederatedError::Compute(e.to_string())
+    }
+}
+
+impl From<amalur_factorize::FactorizeError> for FederatedError {
+    fn from(e: amalur_factorize::FactorizeError) -> Self {
+        FederatedError::Compute(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(FederatedError::Misaligned("x".into()).to_string().contains("misaligned"));
+        let e: FederatedError = amalur_crypto::CryptoError::NotInvertible.into();
+        assert!(matches!(e, FederatedError::Crypto(_)));
+        let e: FederatedError = amalur_matrix::MatrixError::Singular.into();
+        assert!(matches!(e, FederatedError::Compute(_)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Federated learning over data silos (§II-C and §V of the paper).
+//!
+//! "In the existence of privacy constraints, Amalur will conduct
+//! privacy-preserving data integration operations over the silos, and
+//! split the learning process over the silos. The central orchestrator
+//! will coordinate communication between silos, and the encryption/
+//! decryption during aggregating the results and updating the weights."
+//!
+//! * [`align`] — turns a [`amalur_factorize::FactorizedTable`] into per-party feature
+//!   views `Xₖ = (IₖDₖMₖᵀ) ∘ Rₖ` restricted to each source's columns:
+//!   the paper's §V-A insight that the mapping/indicator matrices define
+//!   the federated feature spaces (`X_A = I₁D₁M₁ᵀ`, `X_B = I₂D₂M₂ᵀ`).
+//! * [`vfl`] — vertical federated linear regression (Yang et al.'s
+//!   protocol shape): parties hold disjoint feature slices of the same
+//!   aligned rows; partial predictions are aggregated through the
+//!   orchestrator under a chosen [`PrivacyMode`] (plaintext baseline,
+//!   additive secret sharing, or Paillier homomorphic encryption).
+//! * [`hfl`] — horizontal FedAvg: parties hold disjoint row sets of the
+//!   same schema (the union scenario); the orchestrator averages local
+//!   models, optionally noised by the Laplace mechanism.
+//!
+//! Parties run as real threads connected to the orchestrator by
+//! `crossbeam` channels — message counts and byte volumes are observable,
+//! which is what the §V-B encryption-overhead study measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+mod error;
+pub mod hfl;
+mod protocol;
+pub mod vfl;
+
+pub use align::{party_views, PartyView};
+pub use error::{FederatedError, Result};
+pub use hfl::{train_fedavg, HflConfig, HflResult, PartySamples};
+pub use protocol::{CommStats, PrivacyMode};
+pub use vfl::{train_vfl, VflConfig, VflResult};

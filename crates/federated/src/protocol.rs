@@ -1,0 +1,79 @@
+//! Shared protocol types: privacy modes and communication accounting.
+
+/// How partial results are protected on the wire (§V-B's three
+/// technique families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivacyMode {
+    /// No protection — the correctness baseline and the cheapest path.
+    Plaintext,
+    /// Additive secret sharing over `Z_{2⁶¹−1}`: the orchestrator (and
+    /// any proper subset of parties) sees only uniformly random shares;
+    /// the sum is revealed only in aggregate.
+    SecretShared,
+    /// Paillier additively homomorphic encryption with the given modulus
+    /// size: parties encrypt, the orchestrator aggregates ciphertexts,
+    /// only the key holder decrypts the aggregate.
+    Paillier {
+        /// Modulus bits (512 is the benchmark default; ≥ 2048 for real
+        /// deployments).
+        key_bits: usize,
+    },
+}
+
+impl std::fmt::Display for PrivacyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrivacyMode::Plaintext => write!(f, "plaintext"),
+            PrivacyMode::SecretShared => write!(f, "secret-shared"),
+            PrivacyMode::Paillier { key_bits } => write!(f, "paillier-{key_bits}"),
+        }
+    }
+}
+
+/// Communication and crypto-time accounting for one training run —
+/// the observable side of §V-B's "how much overhead will the encryption
+/// bring" question.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommStats {
+    /// Total bytes sent by parties to the orchestrator.
+    pub bytes_up: usize,
+    /// Total bytes broadcast from the orchestrator to parties.
+    pub bytes_down: usize,
+    /// Number of protocol messages exchanged.
+    pub messages: usize,
+    /// Wall time spent in encryption/decryption/share arithmetic.
+    pub crypto_time: std::time::Duration,
+}
+
+impl CommStats {
+    /// Total traffic in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_up + self.bytes_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_modes() {
+        assert_eq!(PrivacyMode::Plaintext.to_string(), "plaintext");
+        assert_eq!(PrivacyMode::SecretShared.to_string(), "secret-shared");
+        assert_eq!(
+            PrivacyMode::Paillier { key_bits: 512 }.to_string(),
+            "paillier-512"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let s = CommStats {
+            bytes_up: 10,
+            bytes_down: 5,
+            messages: 3,
+            crypto_time: std::time::Duration::from_millis(1),
+        };
+        assert_eq!(s.total_bytes(), 15);
+    }
+}

@@ -1,0 +1,645 @@
+//! Vertical federated linear regression (§V-A).
+//!
+//! The objective — Yang et al.'s federated linear regression, rewritten
+//! by the paper through the DI matrices —
+//!
+//! ```text
+//! min over Θ_A, Θ_B of Σᵢ ‖ Θ_A X_A⁽ⁱ⁾ + Θ_B X_B⁽ⁱ⁾ − Y⁽ⁱ⁾ ‖²,
+//!     X_A = I₁D₁M₁ᵀ,  X_B = I₂D₂M₂ᵀ
+//! ```
+//!
+//! is minimized by synchronous gradient descent where each epoch:
+//!
+//! 1. every party computes its partial prediction `uₖ = Xₖθₖ` locally;
+//! 2. the orchestrator aggregates `u = Σₖ uₖ` under the configured
+//!    [`PrivacyMode`] (plaintext sum, secret-share reconstruction, or
+//!    Paillier ciphertext product);
+//! 3. the label holder forms the residual `d = u − y`, which is
+//!    broadcast; each party updates `θₖ ← θₖ − α/n (Xₖᵀ d + λ θₖ)`.
+//!
+//! Because `∂/∂θₖ ‖Σⱼ Xⱼθⱼ − y‖² = Xₖᵀ d`, the trajectory is *exactly*
+//! centralized gradient descent on the concatenated features — the
+//! equivalence the tests assert. Parties run as threads; the
+//! orchestrator never sees raw features, only (protected) partial sums.
+//!
+//! Leakage model: the residual is revealed to all parties each epoch
+//! (as in the reference protocol's simplified variants); secret-share
+//! routing passes through the orchestrator, standing in for pairwise
+//! party channels. Both are documented simplifications of \[35\].
+
+use crate::protocol::{CommStats, PrivacyMode};
+use crate::{FederatedError, Result};
+use amalur_crypto::sharing::{additive, FixedPoint};
+use amalur_crypto::{Ciphertext, KeyPair};
+use amalur_matrix::DenseMatrix;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Configuration for [`train_vfl`].
+#[derive(Debug, Clone)]
+pub struct VflConfig {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Wire protection for partial predictions.
+    pub privacy: PrivacyMode,
+    /// RNG seed (share randomness, Paillier key generation).
+    pub seed: u64,
+}
+
+impl Default for VflConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 100,
+            learning_rate: 0.1,
+            l2: 0.0,
+            privacy: PrivacyMode::Plaintext,
+            seed: 42,
+        }
+    }
+}
+
+/// The trained federated model.
+#[derive(Debug, Clone)]
+pub struct VflResult {
+    /// Per-party coefficient vectors, in party order.
+    pub coefficients: Vec<DenseMatrix>,
+    /// Per-epoch squared-residual loss `‖u − y‖²/2n`.
+    pub loss_history: Vec<f64>,
+    /// Communication and crypto accounting.
+    pub comm: CommStats,
+}
+
+impl VflResult {
+    /// Federated prediction `Σₖ Xₖθₖ` for aligned party features.
+    ///
+    /// # Errors
+    /// Shape mismatch between features and coefficients.
+    pub fn predict(&self, features: &[DenseMatrix]) -> Result<DenseMatrix> {
+        if features.len() != self.coefficients.len() {
+            return Err(FederatedError::Misaligned(format!(
+                "{} feature blocks for {} parties",
+                features.len(),
+                self.coefficients.len()
+            )));
+        }
+        let rows = features.first().map_or(0, DenseMatrix::rows);
+        let mut out = DenseMatrix::zeros(rows, 1);
+        for (x, theta) in features.iter().zip(&self.coefficients) {
+            out.add_assign(&x.matmul(theta)?)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Messages orchestrator → party.
+enum ToParty {
+    /// Compute `uₖ = Xₖθₖ` and reply according to the privacy mode.
+    ComputePartial,
+    /// (Secret sharing) shares routed to this party, one vector per peer.
+    ReceiveShares(Vec<Vec<u64>>),
+    /// Residual broadcast; update local coefficients.
+    ApplyResidual(Vec<f64>),
+    /// Training is over; surrender the local model.
+    Finish,
+}
+
+/// Messages party → orchestrator.
+enum FromParty {
+    Partial(Vec<f64>),
+    PartialCipher(Vec<Ciphertext>),
+    /// `shares[peer][row]` — this party's share bundle for every peer.
+    ShareBundle(Vec<Vec<u64>>),
+    ShareSum(Vec<u64>),
+    Ack,
+    Theta(Vec<f64>),
+}
+
+struct PartyRuntime {
+    features: DenseMatrix,
+    theta: Vec<f64>,
+    learning_rate: f64,
+    l2: f64,
+    n_parties: usize,
+    privacy: PrivacyMode,
+    fp: FixedPoint,
+    paillier_pk: Option<amalur_crypto::PublicKey>,
+    rng: rand::rngs::StdRng,
+    /// Shares received from peers this round (summed locally).
+    pending_share_sum: Option<Vec<u64>>,
+    inbox: Receiver<ToParty>,
+    outbox: Sender<FromParty>,
+}
+
+impl PartyRuntime {
+    fn run(mut self) -> Result<()> {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                ToParty::ComputePartial => self.compute_partial()?,
+                ToParty::ReceiveShares(from_peers) => {
+                    let mut sum = vec![0u64; self.features.rows()];
+                    for v in from_peers {
+                        let summed = additive::add_shares(&sum, &v)?;
+                        sum = summed;
+                    }
+                    // Fold in own retained share.
+                    if let Some(own) = self.pending_share_sum.take() {
+                        sum = additive::add_shares(&sum, &own)?;
+                    }
+                    self.send(FromParty::ShareSum(sum))?;
+                }
+                ToParty::ApplyResidual(d) => {
+                    self.apply_residual(&d)?;
+                    self.send(FromParty::Ack)?;
+                }
+                ToParty::Finish => {
+                    self.send(FromParty::Theta(self.theta.clone()))?;
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn partial(&self) -> Result<Vec<f64>> {
+        Ok(self.features.matvec(&self.theta)?)
+    }
+
+    fn compute_partial(&mut self) -> Result<()> {
+        let u = self.partial()?;
+        match self.privacy {
+            PrivacyMode::Plaintext => self.send(FromParty::Partial(u)),
+            PrivacyMode::SecretShared => {
+                // Split every entry into n shares; keep this party's own
+                // share locally, emit the rest for routing.
+                let mut bundles: Vec<Vec<u64>> =
+                    vec![Vec::with_capacity(u.len()); self.n_parties];
+                for &v in &u {
+                    let enc = self.fp.encode(v)?;
+                    let shares = additive::share(enc, self.n_parties, &mut self.rng)?;
+                    for (b, s) in bundles.iter_mut().zip(shares) {
+                        b.push(s);
+                    }
+                }
+                // Convention: the last bundle is retained locally.
+                let own = bundles.pop().expect("n_parties >= 1");
+                self.pending_share_sum = Some(own);
+                self.send(FromParty::ShareBundle(bundles))
+            }
+            PrivacyMode::Paillier { .. } => {
+                let pk = self
+                    .paillier_pk
+                    .as_ref()
+                    .ok_or_else(|| FederatedError::Protocol("missing public key".into()))?;
+                let cipher: Vec<Ciphertext> = u
+                    .iter()
+                    .map(|&v| pk.encrypt_f64(v, &mut self.rng))
+                    .collect::<std::result::Result<_, _>>()?;
+                self.send(FromParty::PartialCipher(cipher))
+            }
+        }
+    }
+
+    fn apply_residual(&mut self, d: &[f64]) -> Result<()> {
+        // θₖ ← θₖ − α/n (Xₖᵀ d + λ θₖ)
+        let n = self.features.rows() as f64;
+        let resid = DenseMatrix::column_vector(d);
+        let grad = self.features.transpose_matmul(&resid)?;
+        for (t, g) in self.theta.iter_mut().zip(grad.as_slice()) {
+            *t -= self.learning_rate / n * (g + self.l2 * *t);
+        }
+        Ok(())
+    }
+
+    fn send(&self, msg: FromParty) -> Result<()> {
+        self.outbox
+            .send(msg)
+            .map_err(|_| FederatedError::Protocol("orchestrator hung up".into()))
+    }
+}
+
+/// Trains vertical federated linear regression.
+///
+/// * `features` — one aligned feature matrix per party (equal row
+///   counts; build them with [`crate::align::party_views`]).
+/// * `y` — the label column (held by the label party, handed to the
+///   orchestrator which acts as its delegate).
+///
+/// # Errors
+/// * [`FederatedError::InvalidConfig`] for zero parties/epochs.
+/// * [`FederatedError::Misaligned`] for inconsistent row counts.
+pub fn train_vfl(features: &[DenseMatrix], y: &DenseMatrix, config: &VflConfig) -> Result<VflResult> {
+    if features.is_empty() || config.epochs == 0 {
+        return Err(FederatedError::InvalidConfig(
+            "need at least one party and one epoch".into(),
+        ));
+    }
+    let n = features[0].rows();
+    for (k, x) in features.iter().enumerate() {
+        if x.rows() != n {
+            return Err(FederatedError::Misaligned(format!(
+                "party {k} has {} rows, expected {n}",
+                x.rows()
+            )));
+        }
+    }
+    if y.rows() != n || y.cols() != 1 {
+        return Err(FederatedError::Misaligned(format!(
+            "labels are {}x{}, expected {n}x1",
+            y.rows(),
+            y.cols()
+        )));
+    }
+
+    let n_parties = features.len();
+    let mut seed_rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let keypair = match config.privacy {
+        PrivacyMode::Paillier { key_bits } => {
+            Some(KeyPair::generate(key_bits, &mut seed_rng)?)
+        }
+        _ => None,
+    };
+    let fp = FixedPoint::default();
+
+    let mut to_party: Vec<Sender<ToParty>> = Vec::with_capacity(n_parties);
+    let mut inboxes: Vec<Receiver<ToParty>> = Vec::with_capacity(n_parties);
+    let (from_tx, from_rx_template): (Vec<Sender<FromParty>>, Vec<Receiver<FromParty>>) =
+        (0..n_parties).map(|_| unbounded()).unzip();
+    for _ in 0..n_parties {
+        let (tx, rx) = unbounded();
+        to_party.push(tx);
+        inboxes.push(rx);
+    }
+
+    let mut loss_history = Vec::with_capacity(config.epochs);
+    let mut comm = CommStats::default();
+    let mut coefficients: Vec<DenseMatrix> = Vec::new();
+
+    std::thread::scope(|scope| -> Result<()> {
+        // Spawn parties.
+        let mut handles = Vec::with_capacity(n_parties);
+        for (k, x) in features.iter().enumerate() {
+            let runtime = PartyRuntime {
+                features: x.clone(),
+                theta: vec![0.0; x.cols()],
+                learning_rate: config.learning_rate,
+                l2: config.l2,
+                n_parties,
+                privacy: config.privacy,
+                fp,
+                paillier_pk: keypair.as_ref().map(|kp| kp.public.clone()),
+                rng: rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(k as u64 + 1)),
+                pending_share_sum: None,
+                inbox: inboxes[k].clone(),
+                outbox: from_tx[k].clone(),
+            };
+            handles.push(scope.spawn(move || runtime.run()));
+        }
+        let from_rx = from_rx_template;
+
+        let recv = |k: usize| -> Result<FromParty> {
+            from_rx[k]
+                .recv()
+                .map_err(|_| FederatedError::Protocol(format!("party {k} hung up")))
+        };
+
+        for _epoch in 0..config.epochs {
+            for tx in &to_party {
+                tx.send(ToParty::ComputePartial)
+                    .map_err(|_| FederatedError::Protocol("party hung up".into()))?;
+                comm.messages += 1;
+            }
+            // Aggregate u = Σ uₖ under the privacy mode.
+            let u: Vec<f64> = match config.privacy {
+                PrivacyMode::Plaintext => {
+                    let mut acc = vec![0.0; n];
+                    for k in 0..n_parties {
+                        match recv(k)? {
+                            FromParty::Partial(v) => {
+                                comm.bytes_up += v.len() * 8;
+                                comm.messages += 1;
+                                for (a, b) in acc.iter_mut().zip(v) {
+                                    *a += b;
+                                }
+                            }
+                            _ => return Err(FederatedError::Protocol("expected Partial".into())),
+                        }
+                    }
+                    acc
+                }
+                PrivacyMode::SecretShared => {
+                    // Collect bundles: bundle[k][peer] destined to `peer`
+                    // (peers indexed over the n−1 others in party order).
+                    let started = Instant::now();
+                    let mut routed: Vec<Vec<Vec<u64>>> = vec![Vec::new(); n_parties];
+                    for k in 0..n_parties {
+                        match recv(k)? {
+                            FromParty::ShareBundle(bundles) => {
+                                comm.messages += 1;
+                                let mut peer_iter =
+                                    (0..n_parties).filter(|&p| p != k);
+                                for b in bundles {
+                                    comm.bytes_up += b.len() * 8;
+                                    let p = peer_iter
+                                        .next()
+                                        .expect("n_parties - 1 bundles");
+                                    routed[p].push(b);
+                                }
+                            }
+                            _ => {
+                                return Err(FederatedError::Protocol(
+                                    "expected ShareBundle".into(),
+                                ))
+                            }
+                        }
+                    }
+                    for (p, tx) in to_party.iter().enumerate() {
+                        let payload = std::mem::take(&mut routed[p]);
+                        comm.bytes_down += payload.iter().map(|v| v.len() * 8).sum::<usize>();
+                        comm.messages += 1;
+                        tx.send(ToParty::ReceiveShares(payload))
+                            .map_err(|_| FederatedError::Protocol("party hung up".into()))?;
+                    }
+                    let mut acc = vec![0u64; n];
+                    for k in 0..n_parties {
+                        match recv(k)? {
+                            FromParty::ShareSum(v) => {
+                                comm.bytes_up += v.len() * 8;
+                                comm.messages += 1;
+                                let summed = additive::add_shares(&acc, &v)?;
+                                acc = summed;
+                            }
+                            _ => {
+                                return Err(FederatedError::Protocol(
+                                    "expected ShareSum".into(),
+                                ))
+                            }
+                        }
+                    }
+                    let out = acc.iter().map(|&v| fp.decode(v)).collect();
+                    comm.crypto_time += started.elapsed();
+                    out
+                }
+                PrivacyMode::Paillier { .. } => {
+                    let started = Instant::now();
+                    let kp = keypair.as_ref().expect("generated above");
+                    let mut acc: Option<Vec<Ciphertext>> = None;
+                    for k in 0..n_parties {
+                        match recv(k)? {
+                            FromParty::PartialCipher(c) => {
+                                comm.bytes_up +=
+                                    c.len() * kp.public.modulus_bits() / 4; // |n²| bits
+                                comm.messages += 1;
+                                acc = Some(match acc {
+                                    None => c,
+                                    Some(prev) => prev
+                                        .iter()
+                                        .zip(c.iter())
+                                        .map(|(a, b)| kp.public.add(a, b))
+                                        .collect::<std::result::Result<_, _>>()?,
+                                });
+                            }
+                            _ => {
+                                return Err(FederatedError::Protocol(
+                                    "expected PartialCipher".into(),
+                                ))
+                            }
+                        }
+                    }
+                    let cipher_sum = acc.expect("at least one party");
+                    let out: Vec<f64> = cipher_sum
+                        .iter()
+                        .map(|c| kp.private.decrypt_f64(c))
+                        .collect::<std::result::Result<_, _>>()?;
+                    comm.crypto_time += started.elapsed();
+                    out
+                }
+            };
+
+            // Label holder (delegated): residual and loss.
+            let residual: Vec<f64> = u
+                .iter()
+                .zip(y.as_slice())
+                .map(|(&ui, &yi)| ui - yi)
+                .collect();
+            let loss =
+                residual.iter().map(|d| d * d).sum::<f64>() / (2.0 * n as f64);
+            loss_history.push(loss);
+            for tx in &to_party {
+                comm.bytes_down += residual.len() * 8;
+                comm.messages += 1;
+                tx.send(ToParty::ApplyResidual(residual.clone()))
+                    .map_err(|_| FederatedError::Protocol("party hung up".into()))?;
+            }
+            for k in 0..n_parties {
+                match recv(k)? {
+                    FromParty::Ack => comm.messages += 1,
+                    _ => return Err(FederatedError::Protocol("expected Ack".into())),
+                }
+            }
+        }
+
+        // Collect models.
+        for tx in &to_party {
+            tx.send(ToParty::Finish)
+                .map_err(|_| FederatedError::Protocol("party hung up".into()))?;
+        }
+        for k in 0..n_parties {
+            match recv(k)? {
+                FromParty::Theta(t) => {
+                    coefficients.push(DenseMatrix::column_vector(&t));
+                }
+                _ => return Err(FederatedError::Protocol("expected Theta".into())),
+            }
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| FederatedError::Protocol("party panicked".into()))??;
+        }
+        Ok(())
+    })?;
+
+    Ok(VflResult {
+        coefficients,
+        loss_history,
+        comm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Two-party aligned features with a planted linear target.
+    fn setup(n: usize, seed: u64) -> (Vec<DenseMatrix>, DenseMatrix, DenseMatrix) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let xa = DenseMatrix::random_uniform(n, 2, -1.0, 1.0, &mut rng);
+        let xb = DenseMatrix::random_uniform(n, 3, -1.0, 1.0, &mut rng);
+        let theta_true = [1.5, -2.0, 0.5, 1.0, -0.75];
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                xa.get(i, 0) * theta_true[0]
+                    + xa.get(i, 1) * theta_true[1]
+                    + xb.get(i, 0) * theta_true[2]
+                    + xb.get(i, 1) * theta_true[3]
+                    + xb.get(i, 2) * theta_true[4]
+                    + rng.gen_range(-0.01..0.01)
+            })
+            .collect();
+        let concat = xa.hstack(&xb).unwrap();
+        (vec![xa, xb], DenseMatrix::column_vector(&y), concat)
+    }
+
+    /// Reference: centralized GD with the identical update rule.
+    fn centralized(x: &DenseMatrix, y: &DenseMatrix, epochs: usize, lr: f64) -> DenseMatrix {
+        let n = x.rows() as f64;
+        let mut theta = DenseMatrix::zeros(x.cols(), 1);
+        for _ in 0..epochs {
+            let resid = x.matmul(&theta).unwrap().sub(y).unwrap();
+            let grad = x.transpose_matmul(&resid).unwrap();
+            theta.axpy_assign(-lr / n, &grad).unwrap();
+        }
+        theta
+    }
+
+    #[test]
+    fn plaintext_vfl_equals_centralized_gd() {
+        let (features, y, concat) = setup(120, 1);
+        let config = VflConfig {
+            epochs: 60,
+            learning_rate: 0.3,
+            ..VflConfig::default()
+        };
+        let result = train_vfl(&features, &y, &config).unwrap();
+        let reference = centralized(&concat, &y, 60, 0.3);
+        let federated = result.coefficients[0]
+            .clone()
+            .vstack(&result.coefficients[1])
+            .unwrap();
+        assert!(
+            federated.approx_eq(&reference, 1e-9),
+            "max diff {:?}",
+            federated.max_abs_diff(&reference)
+        );
+        assert!(result.loss_history.first().unwrap() > result.loss_history.last().unwrap());
+    }
+
+    #[test]
+    fn secret_shared_vfl_matches_within_fixed_point() {
+        let (features, y, concat) = setup(60, 2);
+        let config = VflConfig {
+            epochs: 30,
+            learning_rate: 0.3,
+            privacy: PrivacyMode::SecretShared,
+            ..VflConfig::default()
+        };
+        let result = train_vfl(&features, &y, &config).unwrap();
+        let reference = centralized(&concat, &y, 30, 0.3);
+        let federated = result.coefficients[0]
+            .clone()
+            .vstack(&result.coefficients[1])
+            .unwrap();
+        assert!(
+            federated.approx_eq(&reference, 1e-3),
+            "max diff {:?}",
+            federated.max_abs_diff(&reference)
+        );
+        assert!(result.comm.crypto_time > std::time::Duration::ZERO);
+        // Secret sharing costs extra traffic vs plaintext.
+        let plain = train_vfl(&features, &y, &VflConfig { epochs: 30, learning_rate: 0.3, ..VflConfig::default() }).unwrap();
+        assert!(result.comm.total_bytes() > plain.comm.total_bytes());
+    }
+
+    #[test]
+    fn paillier_vfl_matches_within_fixed_point() {
+        let (features, y, concat) = setup(30, 3);
+        let config = VflConfig {
+            epochs: 10,
+            learning_rate: 0.3,
+            privacy: PrivacyMode::Paillier { key_bits: 128 },
+            ..VflConfig::default()
+        };
+        let result = train_vfl(&features, &y, &config).unwrap();
+        let reference = centralized(&concat, &y, 10, 0.3);
+        let federated = result.coefficients[0]
+            .clone()
+            .vstack(&result.coefficients[1])
+            .unwrap();
+        assert!(
+            federated.approx_eq(&reference, 1e-3),
+            "max diff {:?}",
+            federated.max_abs_diff(&reference)
+        );
+        assert!(result.comm.crypto_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn predict_combines_parties() {
+        let (features, y, _) = setup(80, 4);
+        let config = VflConfig {
+            epochs: 200,
+            learning_rate: 0.5,
+            ..VflConfig::default()
+        };
+        let result = train_vfl(&features, &y, &config).unwrap();
+        let pred = result.predict(&features).unwrap();
+        let mse = pred
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.rows() as f64;
+        assert!(mse < 0.05, "mse {mse}");
+        assert!(result.predict(&features[..1]).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (features, y, _) = setup(10, 5);
+        assert!(train_vfl(&[], &y, &VflConfig::default()).is_err());
+        let zero_epochs = VflConfig {
+            epochs: 0,
+            ..VflConfig::default()
+        };
+        assert!(train_vfl(&features, &y, &zero_epochs).is_err());
+        let short_y = DenseMatrix::zeros(5, 1);
+        assert!(train_vfl(&features, &short_y, &VflConfig::default()).is_err());
+        let mut bad = features.clone();
+        bad[1] = DenseMatrix::zeros(7, 3);
+        assert!(train_vfl(&bad, &y, &VflConfig::default()).is_err());
+    }
+
+    #[test]
+    fn three_party_training_works() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let parts: Vec<DenseMatrix> = (0..3)
+            .map(|_| DenseMatrix::random_uniform(50, 2, -1.0, 1.0, &mut rng))
+            .collect();
+        let y = DenseMatrix::column_vector(
+            &(0..50)
+                .map(|i| parts[0].get(i, 0) + parts[1].get(i, 1) - parts[2].get(i, 0))
+                .collect::<Vec<_>>(),
+        );
+        for privacy in [PrivacyMode::Plaintext, PrivacyMode::SecretShared] {
+            let config = VflConfig {
+                epochs: 40,
+                learning_rate: 0.4,
+                privacy,
+                ..VflConfig::default()
+            };
+            let result = train_vfl(&parts, &y, &config).unwrap();
+            assert_eq!(result.coefficients.len(), 3);
+            assert!(
+                result.loss_history.last().unwrap() < &0.2,
+                "{privacy}: loss {:?}",
+                result.loss_history.last()
+            );
+        }
+    }
+}

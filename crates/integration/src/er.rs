@@ -1,0 +1,372 @@
+//! Entity resolution: discovering row matches between source tables.
+//!
+//! The paper's running example links `S1`'s *Jane* with `S2`'s *Jane*
+//! ("Same Entity", Fig. 2). This module produces such row matchings —
+//! the input to the indicator matrices of §III-B — with a standard
+//! blocking + similarity pipeline:
+//!
+//! 1. **Blocking**: candidate pairs are generated only within blocks that
+//!    share a cheap key (the normalized first token of the entity key),
+//!    avoiding the quadratic all-pairs comparison.
+//! 2. **Similarity**: exact key equality scores 1.0; otherwise a
+//!    Jaro–Winkler score over the rendered key values.
+//! 3. **1:1 greedy resolution**: pairs are accepted in descending score
+//!    order above a threshold, each row used at most once.
+//!
+//! The output is deliberately *approximate* metadata (§V-B: "the results
+//! from an entity resolution approach... are most likely approximate"):
+//! the threshold trades recall for precision, and downstream consumers
+//! (federated learning in particular) must tolerate imperfect matches.
+
+use crate::{IntegrationError, Result};
+use amalur_relational::Table;
+use std::collections::HashMap;
+
+/// A scored row correspondence `(left row, right row)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowMatch {
+    /// Row index in the left table.
+    pub left: usize,
+    /// Row index in the right table.
+    pub right: usize,
+    /// Match confidence in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Configuration for [`match_rows`].
+#[derive(Debug, Clone)]
+pub struct ErConfig {
+    /// Minimum similarity for a candidate pair to be accepted.
+    pub threshold: f64,
+    /// When `true`, only exact key equality is considered (fast path for
+    /// clean keys such as surrogate ids).
+    pub exact_only: bool,
+}
+
+impl Default for ErConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.85,
+            exact_only: false,
+        }
+    }
+}
+
+/// Resolves entities between `left` and `right` on the given key columns.
+///
+/// # Errors
+/// Returns an error when a key column is missing.
+pub fn match_rows(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+    config: &ErConfig,
+) -> Result<Vec<RowMatch>> {
+    let lcol = left
+        .column_by_name(left_key)
+        .map_err(|_| IntegrationError::UnknownColumn(left_key.to_owned()))?;
+    let rcol = right
+        .column_by_name(right_key)
+        .map_err(|_| IntegrationError::UnknownColumn(right_key.to_owned()))?;
+
+    let lkeys: Vec<String> = (0..left.num_rows()).map(|i| lcol.get(i).to_string()).collect();
+    let rkeys: Vec<String> = (0..right.num_rows()).map(|i| rcol.get(i).to_string()).collect();
+
+    let mut candidates: Vec<RowMatch> = Vec::new();
+
+    // Exact phase: hash equality on the rendered key (NULL renders empty
+    // and is skipped — NULL matches nothing).
+    let mut exact: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (j, k) in rkeys.iter().enumerate() {
+        if !k.is_empty() {
+            exact.entry(k.as_str()).or_default().push(j);
+        }
+    }
+    let mut left_exactly_matched = vec![false; lkeys.len()];
+    let mut right_exactly_matched = vec![false; rkeys.len()];
+    for (i, k) in lkeys.iter().enumerate() {
+        if k.is_empty() {
+            continue;
+        }
+        if let Some(js) = exact.get(k.as_str()) {
+            for &j in js {
+                candidates.push(RowMatch {
+                    left: i,
+                    right: j,
+                    score: 1.0,
+                });
+                left_exactly_matched[i] = true;
+                right_exactly_matched[j] = true;
+            }
+        }
+    }
+
+    // Fuzzy phase with blocking: compare only rows whose normalized first
+    // character agrees, and only rows not already matched exactly.
+    if !config.exact_only {
+        let block_of = |s: &str| -> Option<char> {
+            s.chars().next().map(|c| c.to_ascii_lowercase())
+        };
+        let mut blocks: HashMap<char, Vec<usize>> = HashMap::new();
+        for (j, k) in rkeys.iter().enumerate() {
+            if right_exactly_matched[j] {
+                continue;
+            }
+            if let Some(b) = block_of(k) {
+                blocks.entry(b).or_default().push(j);
+            }
+        }
+        for (i, k) in lkeys.iter().enumerate() {
+            if left_exactly_matched[i] || k.is_empty() {
+                continue;
+            }
+            let Some(b) = block_of(k) else { continue };
+            let Some(js) = blocks.get(&b) else { continue };
+            for &j in js {
+                let s = jaro_winkler(k, &rkeys[j]);
+                if s >= config.threshold {
+                    candidates.push(RowMatch {
+                        left: i,
+                        right: j,
+                        score: s,
+                    });
+                }
+            }
+        }
+    }
+
+    // Greedy 1:1 resolution by descending score (deterministic ties).
+    candidates.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.left.cmp(&y.left))
+            .then_with(|| x.right.cmp(&y.right))
+    });
+    let mut used_left = vec![false; left.num_rows()];
+    let mut used_right = vec![false; right.num_rows()];
+    let mut out = Vec::new();
+    for c in candidates {
+        if used_left[c.left] || used_right[c.right] {
+            continue;
+        }
+        used_left[c.left] = true;
+        used_right[c.right] = true;
+        out.push(c);
+    }
+    out.sort_by_key(|m| (m.left, m.right));
+    Ok(out)
+}
+
+/// Jaro similarity of two strings.
+fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                matches += 1;
+                a_matched.push(ca);
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    let b_matched: Vec<char> = b
+        .iter()
+        .zip(&b_taken)
+        .filter(|&(_, &t)| t)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(&b_matched)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by shared prefix (≤ 4 chars).
+fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalur_relational::{DataType, TableBuilder, Value};
+
+    fn left() -> Table {
+        TableBuilder::new("S1", &[("n", DataType::Utf8), ("a", DataType::Float64)])
+            .unwrap()
+            .row(vec!["Jack".into(), 20.0.into()])
+            .unwrap()
+            .row(vec!["Sam".into(), 35.0.into()])
+            .unwrap()
+            .row(vec!["Ruby".into(), 22.0.into()])
+            .unwrap()
+            .row(vec!["Jane".into(), 37.0.into()])
+            .unwrap()
+            .build()
+    }
+
+    fn right() -> Table {
+        TableBuilder::new("S2", &[("n", DataType::Utf8), ("o", DataType::Float64)])
+            .unwrap()
+            .row(vec!["Rose".into(), 95.0.into()])
+            .unwrap()
+            .row(vec!["Castiel".into(), 97.0.into()])
+            .unwrap()
+            .row(vec!["Jane".into(), 92.0.into()])
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn running_example_matches_jane() {
+        let matches = match_rows(&left(), &right(), "n", "n", &ErConfig::default()).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].left, 3);
+        assert_eq!(matches[0].right, 2);
+        assert_eq!(matches[0].score, 1.0);
+    }
+
+    #[test]
+    fn fuzzy_matching_catches_typos() {
+        let l = TableBuilder::new("l", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec!["Johnathan Smith".into()])
+            .unwrap()
+            .build();
+        let r = TableBuilder::new("r", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec!["Jonathan Smith".into()])
+            .unwrap()
+            .build();
+        let matches = match_rows(&l, &r, "n", "n", &ErConfig::default()).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert!(matches[0].score > 0.85 && matches[0].score < 1.0);
+    }
+
+    #[test]
+    fn exact_only_mode_skips_fuzzy() {
+        let l = TableBuilder::new("l", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec!["Johnathan".into()])
+            .unwrap()
+            .build();
+        let r = TableBuilder::new("r", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec!["Jonathan".into()])
+            .unwrap()
+            .build();
+        let cfg = ErConfig {
+            exact_only: true,
+            ..ErConfig::default()
+        };
+        assert!(match_rows(&l, &r, "n", "n", &cfg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn blocking_prevents_cross_initial_comparisons() {
+        // "Zane" vs "Jane" is close in edit distance but lives in a
+        // different block, so the fuzzy phase never sees the pair.
+        let l = TableBuilder::new("l", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec!["Zane".into()])
+            .unwrap()
+            .build();
+        let matches = match_rows(&l, &right(), "n", "n", &ErConfig::default()).unwrap();
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn one_to_one_resolution() {
+        // Two identical left keys, one right key: only one match survives.
+        let l = TableBuilder::new("l", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec!["Jane".into()])
+            .unwrap()
+            .row(vec!["Jane".into()])
+            .unwrap()
+            .build();
+        let matches = match_rows(&l, &right(), "n", "n", &ErConfig::default()).unwrap();
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let l = TableBuilder::new("l", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec![Value::Null])
+            .unwrap()
+            .build();
+        let r = TableBuilder::new("r", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec![Value::Null])
+            .unwrap()
+            .build();
+        assert!(match_rows(&l, &r, "n", "n", &ErConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn integer_keys_match_exactly() {
+        let l = TableBuilder::new("l", &[("id", DataType::Int64)])
+            .unwrap()
+            .row(vec![7.into()])
+            .unwrap()
+            .build();
+        let r = TableBuilder::new("r", &[("id", DataType::Int64)])
+            .unwrap()
+            .row(vec![7.into()])
+            .unwrap()
+            .row(vec![8.into()])
+            .unwrap()
+            .build();
+        let matches = match_rows(&l, &r, "id", "id", &ErConfig::default()).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].right, 0);
+    }
+
+    #[test]
+    fn unknown_key_column_errors() {
+        assert!(match_rows(&left(), &right(), "nope", "n", &ErConfig::default()).is_err());
+        assert!(match_rows(&left(), &right(), "n", "nope", &ErConfig::default()).is_err());
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.9611).abs() < 1e-3);
+        assert!((jaro_winkler("DWAYNE", "DUANE") - 0.84).abs() < 1e-2);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro_winkler("a", ""), 0.0);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+}

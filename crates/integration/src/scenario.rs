@@ -1,0 +1,753 @@
+//! The four dataset relationships of Table I as integration planners.
+//!
+//! Given two source tables, a scenario kind and an entity key, these
+//! planners run schema matching and entity resolution, decide the target
+//! (mediated) schema, and emit everything the downstream ML layers need:
+//! the source data matrices `Dₖ`, the complete [`DiMetadata`] (mapping,
+//! indicator and redundancy matrices) and the defining tgds.
+//!
+//! | Scenario | Paper example | Target rows |
+//! |---|---|---|
+//! | [`ScenarioKind::FullOuterJoin`] | Example 1 | left ∪ matched ∪ right-only |
+//! | [`ScenarioKind::InnerJoin`]     | Example 2 | matched only |
+//! | [`ScenarioKind::LeftJoin`]      | Example 3 | all left |
+//! | [`ScenarioKind::Union`]         | Example 4 | left ++ right |
+
+use crate::er::{match_rows, ErConfig, RowMatch};
+use crate::matching::{match_schemas, ColumnMatch, MatchingConfig};
+use crate::metadata::{
+    DiMetadata, IndicatorMatrix, MappingMatrix, RedundancyMatrix, SourceMetadata,
+};
+use crate::tgd::{Atom, Tgd};
+use crate::{IntegrationError, Result};
+use amalur_matrix::{DenseMatrix, NO_MATCH};
+use amalur_relational::{hash_join, union_all, JoinType, Table};
+
+/// The dataset relationship between sources and target (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Example 1: all rows from both sources, matched entities merged.
+    FullOuterJoin,
+    /// Example 2: only entities present in both sources.
+    InnerJoin,
+    /// Example 3: all left rows, augmented where the right matches.
+    LeftJoin,
+    /// Example 4: disjoint row sets over a shared feature schema.
+    Union,
+}
+
+impl ScenarioKind {
+    /// The relational join type that materializes this scenario
+    /// (union has none).
+    pub fn join_type(&self) -> Option<JoinType> {
+        match self {
+            ScenarioKind::FullOuterJoin => Some(JoinType::FullOuter),
+            ScenarioKind::InnerJoin => Some(JoinType::Inner),
+            ScenarioKind::LeftJoin => Some(JoinType::Left),
+            ScenarioKind::Union => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ScenarioKind::FullOuterJoin => "full outer join",
+            ScenarioKind::InnerJoin => "inner join",
+            ScenarioKind::LeftJoin => "left join",
+            ScenarioKind::Union => "union",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Options for [`integrate_pair`].
+#[derive(Debug, Clone)]
+pub struct IntegrationOptions {
+    /// Entity-key columns `(left, right)` used by entity resolution; the
+    /// key is identification metadata, not a feature, so it is excluded
+    /// from the target schema (like `n` in the running example).
+    pub key: (String, String),
+    /// Explicit column correspondences; when `None`, schema matching
+    /// discovers them.
+    pub column_matches: Option<Vec<(String, String)>>,
+    /// Entity-resolution configuration.
+    pub er: ErConfig,
+    /// Schema-matching configuration.
+    pub matching: MatchingConfig,
+    /// Value used to encode NULLs when converting tables to matrices.
+    pub null_value: f64,
+}
+
+impl IntegrationOptions {
+    /// Options with the given entity key and defaults elsewhere
+    /// (fuzzy entity resolution — the paper's approximate-ER setting).
+    pub fn with_key(left: impl Into<String>, right: impl Into<String>) -> Self {
+        Self {
+            key: (left.into(), right.into()),
+            column_matches: None,
+            er: ErConfig::default(),
+            matching: MatchingConfig::default(),
+            null_value: 0.0,
+        }
+    }
+
+    /// Options for clean identifier keys: entity resolution by exact
+    /// equality only (ids, surrogate keys).
+    pub fn with_exact_key(left: impl Into<String>, right: impl Into<String>) -> Self {
+        let mut opts = Self::with_key(left, right);
+        opts.er.exact_only = true;
+        opts
+    }
+}
+
+/// Everything an integration planner produces.
+#[derive(Debug, Clone)]
+pub struct IntegrationResult {
+    /// Scenario that was planned.
+    pub kind: ScenarioKind,
+    /// The three matrices per source, plus the target schema.
+    pub metadata: DiMetadata,
+    /// Source data matrices `Dₖ` (mapped numeric columns only).
+    pub source_data: Vec<DenseMatrix>,
+    /// The schema mappings defining the scenario.
+    pub tgds: Vec<Tgd>,
+    /// Entity-resolution output (left/right row pairs).
+    pub row_matches: Vec<RowMatch>,
+    /// Schema-matching output (left/right column pairs).
+    pub column_matches: Vec<ColumnMatch>,
+}
+
+/// Numeric feature columns of a table, excluding the entity key.
+fn feature_columns<'t>(t: &'t Table, key: &str) -> Vec<&'t str> {
+    t.numeric_column_names()
+        .into_iter()
+        .filter(|c| *c != key)
+        .collect()
+}
+
+/// Plans the integration of two source tables under the given scenario.
+///
+/// Source 0 (the left table) is the base table for redundancy purposes:
+/// overlapping values in the right table are marked redundant (§III-C).
+///
+/// # Errors
+/// * [`IntegrationError::UnknownColumn`] for missing key columns.
+/// * [`IntegrationError::NoMatches`] when a union scenario finds no shared
+///   feature columns.
+pub fn integrate_pair(
+    left: &Table,
+    right: &Table,
+    kind: ScenarioKind,
+    opts: &IntegrationOptions,
+) -> Result<IntegrationResult> {
+    let (lkey, rkey) = (&opts.key.0, &opts.key.1);
+    left.schema()
+        .index_of(lkey)
+        .map_err(|_| IntegrationError::UnknownColumn(lkey.clone()))?;
+    right
+        .schema()
+        .index_of(rkey)
+        .map_err(|_| IntegrationError::UnknownColumn(rkey.clone()))?;
+
+    // --- Column correspondences (schema matching) -----------------------
+    let column_matches: Vec<ColumnMatch> = match &opts.column_matches {
+        Some(given) => given
+            .iter()
+            .map(|(l, r)| ColumnMatch {
+                left: l.clone(),
+                right: r.clone(),
+                score: 1.0,
+            })
+            .collect(),
+        None => match_schemas(left, right, &opts.matching),
+    };
+    // Keep only numeric feature correspondences (key columns are handled
+    // by ER, not by the mapping matrices).
+    let left_features = feature_columns(left, lkey);
+    let right_features = feature_columns(right, rkey);
+    let feature_matches: Vec<&ColumnMatch> = column_matches
+        .iter()
+        .filter(|m| {
+            left_features.contains(&m.left.as_str())
+                && right_features.contains(&m.right.as_str())
+        })
+        .collect();
+
+    // --- Target (mediated) schema ---------------------------------------
+    // Join scenarios: all left features, then unmatched right features.
+    // Union: only the shared features.
+    let right_match_of_left = |l: &str| -> Option<&str> {
+        feature_matches
+            .iter()
+            .find(|m| m.left == l)
+            .map(|m| m.right.as_str())
+    };
+    let left_match_of_right = |r: &str| -> Option<&str> {
+        feature_matches
+            .iter()
+            .find(|m| m.right == r)
+            .map(|m| m.left.as_str())
+    };
+    let target_columns: Vec<String> = match kind {
+        ScenarioKind::Union => left_features
+            .iter()
+            .filter(|l| right_match_of_left(l).is_some())
+            .map(|l| (*l).to_owned())
+            .collect(),
+        _ => {
+            let mut cols: Vec<String> =
+                left_features.iter().map(|l| (*l).to_owned()).collect();
+            cols.extend(
+                right_features
+                    .iter()
+                    .filter(|r| left_match_of_right(r).is_none())
+                    .map(|r| (*r).to_owned()),
+            );
+            cols
+        }
+    };
+    if target_columns.is_empty() {
+        return Err(IntegrationError::NoMatches(format!(
+            "no target columns for {kind} of {} and {}",
+            left.name(),
+            right.name()
+        )));
+    }
+
+    // --- Mapped source columns and mapping matrices ---------------------
+    // Left source: every left feature present in the target.
+    let left_mapped: Vec<String> = left_features
+        .iter()
+        .filter(|l| target_columns.iter().any(|t| t == *l))
+        .map(|l| (*l).to_owned())
+        .collect();
+    // Right source: the right-hand side of each surviving match, plus the
+    // right-only columns present in the target — in right-schema order.
+    let right_mapped: Vec<String> = right_features
+        .iter()
+        .filter(|r| match left_match_of_right(r) {
+            Some(l) => target_columns.iter().any(|t| t == l),
+            None => target_columns.iter().any(|t| t == *r),
+        })
+        .map(|r| (*r).to_owned())
+        .collect();
+
+    let cm1: Vec<i64> = target_columns
+        .iter()
+        .map(|t| {
+            left_mapped
+                .iter()
+                .position(|c| c == t)
+                .map_or(NO_MATCH, |p| p as i64)
+        })
+        .collect();
+    let cm2: Vec<i64> = target_columns
+        .iter()
+        .map(|t| {
+            // A target column maps into the right source either through a
+            // column match (shared column named after the left side) or
+            // directly (right-only column).
+            let right_name = right_match_of_left(t).unwrap_or(t.as_str());
+            right_mapped
+                .iter()
+                .position(|c| c == right_name)
+                .map_or(NO_MATCH, |p| p as i64)
+        })
+        .collect();
+    let mapping1 = MappingMatrix::new(cm1, left_mapped.len())?;
+    let mapping2 = MappingMatrix::new(cm2, right_mapped.len())?;
+
+    // --- Row alignment (entity resolution) ------------------------------
+    let row_matches = if kind == ScenarioKind::Union {
+        Vec::new() // Example 4 presumes disjoint row sets.
+    } else {
+        match_rows(left, right, lkey, rkey, &opts.er)?
+    };
+    let (ci1, ci2) = row_alignment(kind, left.num_rows(), right.num_rows(), &row_matches);
+    let target_rows = ci1.len();
+    let indicator1 = IndicatorMatrix::new(ci1, left.num_rows())?;
+    let indicator2 = IndicatorMatrix::new(ci2, right.num_rows())?;
+
+    // --- Redundancy matrices ---------------------------------------------
+    let redundancy1 = RedundancyMatrix::all_ones(target_rows, target_columns.len());
+    let redundancy2 = RedundancyMatrix::against_earlier(
+        &[(&indicator1, &mapping1)],
+        &indicator2,
+        &mapping2,
+    )?;
+
+    // --- Source data matrices Dₖ -----------------------------------------
+    let left_refs: Vec<&str> = left_mapped.iter().map(String::as_str).collect();
+    let right_refs: Vec<&str> = right_mapped.iter().map(String::as_str).collect();
+    let d1 = left.to_matrix(&left_refs, opts.null_value)?;
+    let d2 = right.to_matrix(&right_refs, opts.null_value)?;
+
+    let tgds = scenario_tgds(kind, left, right, &target_columns, opts, &column_matches);
+
+    let metadata = DiMetadata {
+        target_columns,
+        target_rows,
+        sources: vec![
+            SourceMetadata {
+                name: left.name().to_owned(),
+                mapped_columns: left_mapped,
+                mapping: mapping1,
+                indicator: indicator1,
+                redundancy: redundancy1,
+            },
+            SourceMetadata {
+                name: right.name().to_owned(),
+                mapped_columns: right_mapped,
+                mapping: mapping2,
+                indicator: indicator2,
+                redundancy: redundancy2,
+            },
+        ],
+    };
+    metadata.validate()?;
+
+    Ok(IntegrationResult {
+        kind,
+        metadata,
+        source_data: vec![d1, d2],
+        tgds,
+        row_matches,
+        column_matches,
+    })
+}
+
+/// Computes `CI₁`/`CI₂` for the scenario. Target row order: left rows in
+/// order, then (for full outer / union) the unmatched right rows in order.
+fn row_alignment(
+    kind: ScenarioKind,
+    left_rows: usize,
+    right_rows: usize,
+    matches: &[RowMatch],
+) -> (Vec<i64>, Vec<i64>) {
+    let mut right_of_left: Vec<i64> = vec![NO_MATCH; left_rows];
+    let mut right_matched = vec![false; right_rows];
+    for m in matches {
+        right_of_left[m.left] = m.right as i64;
+        right_matched[m.right] = true;
+    }
+    match kind {
+        ScenarioKind::LeftJoin => {
+            let ci1 = (0..left_rows as i64).collect();
+            (ci1, right_of_left)
+        }
+        ScenarioKind::InnerJoin => {
+            let mut ci1 = Vec::new();
+            let mut ci2 = Vec::new();
+            for (l, &r) in right_of_left.iter().enumerate() {
+                if r != NO_MATCH {
+                    ci1.push(l as i64);
+                    ci2.push(r);
+                }
+            }
+            (ci1, ci2)
+        }
+        ScenarioKind::FullOuterJoin => {
+            let mut ci1: Vec<i64> = (0..left_rows as i64).collect();
+            let mut ci2 = right_of_left;
+            for (r, matched) in right_matched.iter().enumerate() {
+                if !matched {
+                    ci1.push(NO_MATCH);
+                    ci2.push(r as i64);
+                }
+            }
+            (ci1, ci2)
+        }
+        ScenarioKind::Union => {
+            let mut ci1: Vec<i64> = (0..left_rows as i64).collect();
+            ci1.extend(std::iter::repeat_n(NO_MATCH, right_rows));
+            let mut ci2: Vec<i64> = vec![NO_MATCH; left_rows];
+            ci2.extend(0..right_rows as i64);
+            (ci1, ci2)
+        }
+    }
+}
+
+/// Generates the Table I tgd set for a scenario, using real column names
+/// as variables (mapped columns share the variable of their target
+/// column; source-only columns keep their own names).
+fn scenario_tgds(
+    kind: ScenarioKind,
+    left: &Table,
+    right: &Table,
+    target_columns: &[String],
+    opts: &IntegrationOptions,
+    column_matches: &[ColumnMatch],
+) -> Vec<Tgd> {
+    let key_var = opts.key.0.clone();
+    let left_vars: Vec<String> = left
+        .schema()
+        .names()
+        .iter()
+        .map(|c| {
+            if *c == opts.key.0 {
+                key_var.clone()
+            } else {
+                (*c).to_owned()
+            }
+        })
+        .collect();
+    let right_vars: Vec<String> = right
+        .schema()
+        .names()
+        .iter()
+        .map(|c| {
+            if *c == opts.key.1 {
+                key_var.clone()
+            } else {
+                // A matched right column shares its left counterpart's var.
+                column_matches
+                    .iter()
+                    .find(|m| m.right == **c)
+                    .map_or_else(|| (*c).to_owned(), |m| m.left.clone())
+            }
+        })
+        .collect();
+    let s1 = Atom {
+        relation: left.name().to_owned(),
+        vars: left_vars,
+    };
+    let s2 = Atom {
+        relation: right.name().to_owned(),
+        vars: right_vars,
+    };
+    let t = Atom {
+        relation: "T".to_owned(),
+        vars: target_columns.to_vec(),
+    };
+    let join = Tgd::new(Some("m1"), vec![s1.clone(), s2.clone()], vec![t.clone()]);
+    let proj1 = Tgd::new(Some("m2"), vec![s1], vec![t.clone()]);
+    let proj2 = Tgd::new(Some("m3"), vec![s2], vec![t]);
+    match kind {
+        ScenarioKind::FullOuterJoin => vec![join, proj1, proj2],
+        ScenarioKind::InnerJoin => vec![join],
+        ScenarioKind::LeftJoin => vec![join, proj1],
+        ScenarioKind::Union => vec![proj1, proj2],
+    }
+}
+
+/// Materializes the scenario relationally (the traditional DI path of
+/// Fig. 2), returning the target table projected to the mediated schema.
+/// Used to cross-check the matrix-level assembly.
+///
+/// # Errors
+/// Propagates relational errors (missing columns, schema mismatches).
+pub fn materialize_relationally(
+    left: &Table,
+    right: &Table,
+    kind: ScenarioKind,
+    opts: &IntegrationOptions,
+    target_columns: &[String],
+) -> Result<Table> {
+    let refs: Vec<&str> = target_columns.iter().map(String::as_str).collect();
+    match kind.join_type() {
+        Some(jt) => {
+            let joined = hash_join(left, right, &[(&opts.key.0, &opts.key.1)], jt)?;
+            Ok(joined.project(&refs)?)
+        }
+        None => {
+            // Union: project each source to the mediated schema first
+            // (sources need not share their *other* columns).
+            let l = left.project(&refs)?;
+            let r = right.project(&refs)?;
+            Ok(union_all(&[&l, &r])?)
+        }
+    }
+}
+
+/// Plans an n-ary union (the HFL scenario with many silos): every table
+/// contributes all of its rows; the target schema is the set of features
+/// (by name) common to all tables.
+///
+/// # Errors
+/// [`IntegrationError::NoMatches`] when the tables share no numeric
+/// feature columns.
+pub fn integrate_union(
+    tables: &[&Table],
+    key: &str,
+    null_value: f64,
+) -> Result<IntegrationResult> {
+    let first = tables
+        .first()
+        .ok_or_else(|| IntegrationError::NoMatches("union of zero tables".into()))?;
+    let mut target_columns: Vec<String> = feature_columns(first, key)
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    for t in &tables[1..] {
+        let feats = feature_columns(t, key);
+        target_columns.retain(|c| feats.contains(&c.as_str()));
+    }
+    if target_columns.is_empty() {
+        return Err(IntegrationError::NoMatches(
+            "union sources share no numeric feature columns".into(),
+        ));
+    }
+    let target_rows: usize = tables.iter().map(|t| t.num_rows()).sum();
+    let mut sources = Vec::with_capacity(tables.len());
+    let mut source_data = Vec::with_capacity(tables.len());
+    let mut offset = 0usize;
+    for t in tables {
+        let mapped: Vec<String> = t
+            .schema()
+            .names()
+            .iter()
+            .filter(|c| target_columns.iter().any(|tc| tc == **c))
+            .map(|c| (*c).to_owned())
+            .collect();
+        let cm: Vec<i64> = target_columns
+            .iter()
+            .map(|tc| {
+                mapped
+                    .iter()
+                    .position(|c| c == tc)
+                    .map_or(NO_MATCH, |p| p as i64)
+            })
+            .collect();
+        let mut ci: Vec<i64> = vec![NO_MATCH; target_rows];
+        for r in 0..t.num_rows() {
+            ci[offset + r] = r as i64;
+        }
+        offset += t.num_rows();
+        let refs: Vec<&str> = mapped.iter().map(String::as_str).collect();
+        let d = t.to_matrix(&refs, null_value)?;
+        sources.push(SourceMetadata {
+            name: t.name().to_owned(),
+            mapping: MappingMatrix::new(cm, mapped.len())?,
+            indicator: IndicatorMatrix::new(ci, t.num_rows())?,
+            redundancy: RedundancyMatrix::all_ones(target_rows, target_columns.len()),
+            mapped_columns: mapped,
+        });
+        source_data.push(d);
+    }
+    let metadata = DiMetadata {
+        target_columns,
+        target_rows,
+        sources,
+    };
+    metadata.validate()?;
+    Ok(IntegrationResult {
+        kind: ScenarioKind::Union,
+        metadata,
+        source_data,
+        tgds: Vec::new(),
+        row_matches: Vec::new(),
+        column_matches: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalur_relational::{DataType, TableBuilder};
+
+    /// S1(m, n, a, hr) of Figure 2a.
+    pub(crate) fn s1() -> Table {
+        TableBuilder::new(
+            "S1",
+            &[
+                ("m", DataType::Int64),
+                ("n", DataType::Utf8),
+                ("a", DataType::Float64),
+                ("hr", DataType::Float64),
+            ],
+        )
+        .unwrap()
+        .row(vec![0.into(), "Jack".into(), 20.0.into(), 60.0.into()])
+        .unwrap()
+        .row(vec![1.into(), "Sam".into(), 35.0.into(), 58.0.into()])
+        .unwrap()
+        .row(vec![0.into(), "Ruby".into(), 22.0.into(), 65.0.into()])
+        .unwrap()
+        .row(vec![1.into(), "Jane".into(), 37.0.into(), 70.0.into()])
+        .unwrap()
+        .build()
+    }
+
+    /// S2(m, n, a, o, dd) of Figure 2b.
+    pub(crate) fn s2() -> Table {
+        TableBuilder::new(
+            "S2",
+            &[
+                ("m", DataType::Int64),
+                ("n", DataType::Utf8),
+                ("a", DataType::Float64),
+                ("o", DataType::Float64),
+                ("dd", DataType::Utf8),
+            ],
+        )
+        .unwrap()
+        .row(vec![1.into(), "Rose".into(), 45.0.into(), 95.0.into(), "1/4/21".into()])
+        .unwrap()
+        .row(vec![0.into(), "Castiel".into(), 20.0.into(), 97.0.into(), "3/8/22".into()])
+        .unwrap()
+        .row(vec![1.into(), "Jane".into(), 37.0.into(), 92.0.into(), "11/5/21".into()])
+        .unwrap()
+        .build()
+    }
+
+    fn opts() -> IntegrationOptions {
+        IntegrationOptions::with_key("n", "n")
+    }
+
+    #[test]
+    fn full_outer_join_reproduces_figure4_metadata() {
+        let r = integrate_pair(&s1(), &s2(), ScenarioKind::FullOuterJoin, &opts()).unwrap();
+        assert_eq!(r.metadata.target_columns, vec!["m", "a", "hr", "o"]);
+        assert_eq!(r.metadata.target_rows, 6);
+        let s1m = &r.metadata.sources[0];
+        let s2m = &r.metadata.sources[1];
+        // CM₁ = [0, 1, 2, -1]; CM₂ = [0, 1, -1, 2] (Figure 4a).
+        assert_eq!(s1m.mapping.compressed(), &[0, 1, 2, NO_MATCH]);
+        assert_eq!(s2m.mapping.compressed(), &[0, 1, NO_MATCH, 2]);
+        // CI₁ = [0,1,2,3,-1,-1]; CI₂ = [-1,-1,-1,2,0,1] (Figure 4b).
+        assert_eq!(s1m.indicator.compressed(), &[0, 1, 2, 3, NO_MATCH, NO_MATCH]);
+        assert_eq!(s2m.indicator.compressed(), &[NO_MATCH, NO_MATCH, NO_MATCH, 2, 0, 1]);
+        // R₂ zero exactly at Jane's shared (m, a) cells (Figure 4c).
+        assert_eq!(s2m.redundancy.get(3, 0), 0.0);
+        assert_eq!(s2m.redundancy.get(3, 1), 0.0);
+        assert_eq!(s2m.redundancy.get(3, 3), 1.0);
+        assert_eq!(s2m.redundancy.zero_count(), 2);
+        assert!(s1m.redundancy.is_all_ones());
+        // D₁ is 4×3 (m,a,hr), D₂ is 3×3 (m,a,o).
+        assert_eq!(r.source_data[0].shape(), (4, 3));
+        assert_eq!(r.source_data[1].shape(), (3, 3));
+        assert_eq!(r.source_data[0].row(0), &[0.0, 20.0, 60.0]);
+        assert_eq!(r.source_data[1].row(2), &[1.0, 37.0, 92.0]);
+    }
+
+    #[test]
+    fn full_outer_tgds_match_table1() {
+        let r = integrate_pair(&s1(), &s2(), ScenarioKind::FullOuterJoin, &opts()).unwrap();
+        assert_eq!(r.tgds.len(), 3);
+        assert!(r.tgds[0].is_full()); // m1
+        assert!(!r.tgds[1].is_full()); // m2: ∃o
+        assert!(!r.tgds[2].is_full()); // m3: ∃hr
+        assert_eq!(
+            r.tgds[1].existential_vars(),
+            ["o"].into_iter().collect()
+        );
+        assert_eq!(
+            r.tgds[2].existential_vars(),
+            ["hr"].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn inner_join_keeps_only_jane() {
+        let r = integrate_pair(&s1(), &s2(), ScenarioKind::InnerJoin, &opts()).unwrap();
+        assert_eq!(r.metadata.target_rows, 1);
+        assert_eq!(r.metadata.sources[0].indicator.compressed(), &[3]);
+        assert_eq!(r.metadata.sources[1].indicator.compressed(), &[2]);
+        // Jane's shared columns in S2 are still redundant w.r.t. S1.
+        assert_eq!(r.metadata.sources[1].redundancy.zero_count(), 2);
+        assert_eq!(r.tgds.len(), 1);
+        assert!(r.tgds[0].is_full());
+    }
+
+    #[test]
+    fn left_join_keeps_all_left_rows() {
+        let r = integrate_pair(&s1(), &s2(), ScenarioKind::LeftJoin, &opts()).unwrap();
+        assert_eq!(r.metadata.target_rows, 4);
+        assert_eq!(r.metadata.sources[0].indicator.compressed(), &[0, 1, 2, 3]);
+        assert_eq!(
+            r.metadata.sources[1].indicator.compressed(),
+            &[NO_MATCH, NO_MATCH, NO_MATCH, 2]
+        );
+        assert_eq!(r.tgds.len(), 2);
+    }
+
+    #[test]
+    fn union_stacks_rows_over_shared_columns() {
+        let r = integrate_pair(&s1(), &s2(), ScenarioKind::Union, &opts()).unwrap();
+        // Shared numeric features of S1 and S2: m, a.
+        assert_eq!(r.metadata.target_columns, vec!["m", "a"]);
+        assert_eq!(r.metadata.target_rows, 7);
+        assert!(r.metadata.sources[1].redundancy.is_all_ones());
+        assert_eq!(r.tgds.len(), 2);
+        assert_eq!(r.tgds[0].body.len(), 1);
+    }
+
+    #[test]
+    fn explicit_column_matches_override_matching() {
+        let mut o = opts();
+        o.column_matches = Some(vec![
+            ("m".into(), "m".into()),
+            ("a".into(), "a".into()),
+        ]);
+        let r = integrate_pair(&s1(), &s2(), ScenarioKind::FullOuterJoin, &o).unwrap();
+        assert_eq!(r.metadata.target_columns, vec!["m", "a", "hr", "o"]);
+    }
+
+    #[test]
+    fn missing_key_column_errors() {
+        let o = IntegrationOptions::with_key("nope", "n");
+        assert!(integrate_pair(&s1(), &s2(), ScenarioKind::InnerJoin, &o).is_err());
+        let o = IntegrationOptions::with_key("n", "nope");
+        assert!(integrate_pair(&s1(), &s2(), ScenarioKind::InnerJoin, &o).is_err());
+    }
+
+    #[test]
+    fn materialize_relationally_matches_target_schema() {
+        let r = integrate_pair(&s1(), &s2(), ScenarioKind::FullOuterJoin, &opts()).unwrap();
+        let t = materialize_relationally(
+            &s1(),
+            &s2(),
+            ScenarioKind::FullOuterJoin,
+            &opts(),
+            &r.metadata.target_columns,
+        )
+        .unwrap();
+        assert_eq!(t.num_rows(), 6);
+        assert_eq!(t.schema().names(), vec!["m", "a", "hr", "o"]);
+    }
+
+    #[test]
+    fn integrate_union_many() {
+        let t1 = TableBuilder::new("A", &[("id", DataType::Int64), ("x", DataType::Float64), ("y", DataType::Float64)])
+            .unwrap()
+            .row(vec![1.into(), 1.0.into(), 2.0.into()])
+            .unwrap()
+            .build();
+        let t2 = TableBuilder::new("B", &[("id", DataType::Int64), ("x", DataType::Float64), ("y", DataType::Float64), ("z", DataType::Float64)])
+            .unwrap()
+            .row(vec![2.into(), 3.0.into(), 4.0.into(), 9.0.into()])
+            .unwrap()
+            .row(vec![3.into(), 5.0.into(), 6.0.into(), 9.0.into()])
+            .unwrap()
+            .build();
+        let r = integrate_union(&[&t1, &t2], "id", 0.0).unwrap();
+        assert_eq!(r.metadata.target_columns, vec!["x", "y"]);
+        assert_eq!(r.metadata.target_rows, 3);
+        assert_eq!(r.metadata.sources.len(), 2);
+        assert_eq!(r.metadata.sources[1].indicator.compressed(), &[NO_MATCH, 0, 1]);
+        assert_eq!(r.source_data[1].shape(), (2, 2));
+    }
+
+    #[test]
+    fn integrate_union_no_shared_columns_errors() {
+        let t1 = TableBuilder::new("A", &[("id", DataType::Int64), ("x", DataType::Float64)])
+            .unwrap()
+            .build();
+        let t2 = TableBuilder::new("B", &[("id", DataType::Int64), ("z", DataType::Float64)])
+            .unwrap()
+            .build();
+        assert!(integrate_union(&[&t1, &t2], "id", 0.0).is_err());
+        assert!(integrate_union(&[], "id", 0.0).is_err());
+    }
+
+    #[test]
+    fn scenario_kind_display_and_join_type() {
+        assert_eq!(ScenarioKind::FullOuterJoin.to_string(), "full outer join");
+        assert_eq!(ScenarioKind::Union.join_type(), None);
+        assert_eq!(
+            ScenarioKind::InnerJoin.join_type(),
+            Some(JoinType::Inner)
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Source-to-target tuple-generating dependencies (s-t tgds).
+//!
+//! Schema mappings "lay at the heart of data integration" (§III-A). An
+//! s-t tgd is a first-order sentence `∀x (ϕ(x) → ∃y ψ(x, y))` where
+//! `ϕ` is a conjunction of source atoms and `ψ` of target atoms. The
+//! paper writes them like
+//!
+//! ```text
+//! m1: S1(m,n,a,hr) & S2(m,n,a,o,dd) -> T(m,a,hr,o)
+//! m2: S1(m,n,a,hr) -> T(m,a,hr,o)
+//! ```
+//!
+//! Mapped attributes share variable names; head variables that do not
+//! occur in the body are existentially quantified (`o` in `m2`). A tgd
+//! with no existential variables is *full* — the property Example IV.1
+//! uses as a materialization pruning rule.
+
+use crate::{IntegrationError, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relational atom `R(x₁, …, xₙ)` with variable arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation (table) name.
+    pub relation: String,
+    /// Variable names, positionally bound to the relation's columns.
+    pub vars: Vec<String>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, vars: &[&str]) -> Self {
+        Self {
+            relation: relation.into(),
+            vars: vars.iter().map(|v| (*v).to_owned()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.vars.join(","))
+    }
+}
+
+/// A source-to-target tuple-generating dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tgd {
+    /// Optional label (`m1`, `m2`, …).
+    pub name: Option<String>,
+    /// Conjunction of source atoms (the premise ϕ).
+    pub body: Vec<Atom>,
+    /// Conjunction of target atoms (the conclusion ψ).
+    pub head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Creates a tgd from parts.
+    pub fn new(name: Option<&str>, body: Vec<Atom>, head: Vec<Atom>) -> Self {
+        Self {
+            name: name.map(str::to_owned),
+            body,
+            head,
+        }
+    }
+
+    /// Parses the paper's textual notation, e.g.
+    /// `m1: S1(m,n,a,hr) & S2(m,n,a,o,dd) -> T(m,a,hr,o)`.
+    ///
+    /// `&`, `∧` and the keyword `AND` (any case) separate body atoms;
+    /// `->` or `→` separates body from head. A leading `label:` is
+    /// optional.
+    ///
+    /// # Errors
+    /// [`IntegrationError::TgdParse`] on malformed input.
+    pub fn parse(text: &str) -> Result<Tgd> {
+        let text = text.trim();
+        // Split off an optional "name:" prefix — but only if the colon
+        // appears before any parenthesis (to not confuse atoms).
+        let (name, rest) = match text.find(':') {
+            Some(pos) if !text[..pos].contains('(') => {
+                (Some(text[..pos].trim().to_owned()), &text[pos + 1..])
+            }
+            _ => (None, text),
+        };
+        let (body_txt, head_txt) = rest
+            .split_once("->")
+            .or_else(|| rest.split_once('→'))
+            .ok_or_else(|| {
+                IntegrationError::TgdParse(format!("missing '->' in tgd: {text}"))
+            })?;
+        let body = parse_atoms(body_txt)?;
+        let head = parse_atoms(head_txt)?;
+        if body.is_empty() || head.is_empty() {
+            return Err(IntegrationError::TgdParse(
+                "tgd needs at least one body and one head atom".into(),
+            ));
+        }
+        Ok(Tgd {
+            name,
+            body,
+            head,
+        })
+    }
+
+    /// Variables universally quantified: all body variables.
+    pub fn universal_vars(&self) -> BTreeSet<&str> {
+        self.body
+            .iter()
+            .flat_map(|a| a.vars.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Variables existentially quantified: head variables that never occur
+    /// in the body.
+    pub fn existential_vars(&self) -> BTreeSet<&str> {
+        let universal = self.universal_vars();
+        self.head
+            .iter()
+            .flat_map(|a| a.vars.iter().map(String::as_str))
+            .filter(|v| !universal.contains(v))
+            .collect()
+    }
+
+    /// A *full* tgd has no existentially quantified variables
+    /// (Example IV.1): every target attribute comes from some source.
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// Shared variables across body atoms — the (natural-)join attributes.
+    pub fn join_vars(&self) -> BTreeSet<&str> {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut shared: BTreeSet<&str> = BTreeSet::new();
+        for atom in &self.body {
+            for v in &atom.vars {
+                if !seen.insert(v.as_str()) {
+                    shared.insert(v.as_str());
+                }
+            }
+        }
+        shared
+    }
+
+    /// Source relations referenced in the body.
+    pub fn source_relations(&self) -> Vec<&str> {
+        self.body.iter().map(|a| a.relation.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.name {
+            write!(f, "{name}: ")?;
+        }
+        for (i, atom) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        write!(f, " → ")?;
+        for (i, atom) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_atoms(text: &str) -> Result<Vec<Atom>> {
+    // Normalize conjunction separators to '&'.
+    let normalized = text.replace('∧', "&").replace(" AND ", " & ").replace(" and ", " & ");
+    normalized
+        .split('&')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_atom)
+        .collect()
+}
+
+fn parse_atom(text: &str) -> Result<Atom> {
+    let open = text.find('(').ok_or_else(|| {
+        IntegrationError::TgdParse(format!("atom missing '(': {text}"))
+    })?;
+    if !text.ends_with(')') {
+        return Err(IntegrationError::TgdParse(format!(
+            "atom missing ')': {text}"
+        )));
+    }
+    let relation = text[..open].trim();
+    if relation.is_empty() {
+        return Err(IntegrationError::TgdParse(format!(
+            "atom missing relation name: {text}"
+        )));
+    }
+    let args = &text[open + 1..text.len() - 1];
+    let vars: Vec<String> = args
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if vars.is_empty() {
+        return Err(IntegrationError::TgdParse(format!(
+            "atom has no variables: {text}"
+        )));
+    }
+    Ok(Atom {
+        relation: relation.to_owned(),
+        vars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M1: &str = "m1: S1(m,n,a,hr) & S2(m,n,a,o,dd) -> T(m,a,hr,o)";
+    const M2: &str = "m2: S1(m,n,a,hr) -> T(m,a,hr,o)";
+    const M3: &str = "m3: S2(m,n,a,o,dd) -> T(m,a,hr,o)";
+
+    #[test]
+    fn parse_join_tgd() {
+        let tgd = Tgd::parse(M1).unwrap();
+        assert_eq!(tgd.name.as_deref(), Some("m1"));
+        assert_eq!(tgd.body.len(), 2);
+        assert_eq!(tgd.body[0].relation, "S1");
+        assert_eq!(tgd.body[1].vars, vec!["m", "n", "a", "o", "dd"]);
+        assert_eq!(tgd.head.len(), 1);
+        assert_eq!(tgd.head[0].relation, "T");
+    }
+
+    #[test]
+    fn m1_is_full_m2_m3_are_not() {
+        // Example IV.1: m1 has no existential variables.
+        assert!(Tgd::parse(M1).unwrap().is_full());
+        let m2 = Tgd::parse(M2).unwrap();
+        assert!(!m2.is_full());
+        assert_eq!(m2.existential_vars(), ["o"].into_iter().collect());
+        let m3 = Tgd::parse(M3).unwrap();
+        assert_eq!(m3.existential_vars(), ["hr"].into_iter().collect());
+    }
+
+    #[test]
+    fn join_vars_of_m1() {
+        let tgd = Tgd::parse(M1).unwrap();
+        assert_eq!(tgd.join_vars(), ["m", "n", "a"].into_iter().collect());
+    }
+
+    #[test]
+    fn unnamed_tgd() {
+        let tgd = Tgd::parse("S1(x) -> T(x)").unwrap();
+        assert!(tgd.name.is_none());
+        assert!(tgd.is_full());
+    }
+
+    #[test]
+    fn unicode_connectives() {
+        let tgd = Tgd::parse("S1(a) ∧ S2(a,b) → T(a,b)").unwrap();
+        assert_eq!(tgd.body.len(), 2);
+        assert!(tgd.is_full());
+    }
+
+    #[test]
+    fn keyword_and_connective() {
+        let tgd = Tgd::parse("S1(a) AND S2(a) -> T(a)").unwrap();
+        assert_eq!(tgd.body.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Tgd::parse("S1(a) T(a)").is_err()); // missing ->
+        assert!(Tgd::parse("S1 a -> T(a)").is_err()); // missing parens
+        assert!(Tgd::parse("S1(a) -> T(a").is_err()); // missing close paren
+        assert!(Tgd::parse("S1() -> T(a)").is_err()); // no vars
+        assert!(Tgd::parse("(a) -> T(a)").is_err()); // no relation
+        assert!(Tgd::parse("-> T(a)").is_err()); // empty body
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let tgd = Tgd::parse(M1).unwrap();
+        let shown = tgd.to_string();
+        let reparsed = Tgd::parse(&shown).unwrap();
+        assert_eq!(tgd, reparsed);
+    }
+
+    #[test]
+    fn source_relations() {
+        let tgd = Tgd::parse(M1).unwrap();
+        assert_eq!(tgd.source_relations(), vec!["S1", "S2"]);
+    }
+
+    #[test]
+    fn universal_vars() {
+        let tgd = Tgd::parse(M2).unwrap();
+        assert_eq!(
+            tgd.universal_vars(),
+            ["m", "n", "a", "hr"].into_iter().collect()
+        );
+    }
+}

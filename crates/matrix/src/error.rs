@@ -1,0 +1,102 @@
+//! Error type for matrix operations.
+
+use std::fmt;
+
+/// Convenience alias for matrix operation results.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The shapes of two operands are incompatible for the requested
+    /// operation, e.g. multiplying a `2×3` by a `2×3`.
+    DimensionMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// An index was out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// The offending index (row, col).
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// The supplied buffer length does not match `rows * cols`.
+    InvalidBuffer {
+        /// Declared shape.
+        shape: (usize, usize),
+        /// Actual buffer length.
+        len: usize,
+    },
+    /// Sparse matrix construction data was inconsistent (e.g. unsorted or
+    /// out-of-range column indices).
+    InvalidSparseStructure(String),
+    /// A numerically singular system was encountered (e.g. in `solve`).
+    Singular,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::InvalidBuffer { shape, len } => write!(
+                f,
+                "buffer of length {len} cannot back a {}x{} matrix",
+                shape.0, shape.1
+            ),
+            MatrixError::InvalidSparseStructure(msg) => {
+                write!(f, "invalid sparse structure: {msg}")
+            }
+            MatrixError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = MatrixError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = MatrixError::IndexOutOfBounds {
+            index: (9, 0),
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("(9, 0)"));
+        assert!(e.to_string().contains("3x3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&MatrixError::Singular);
+    }
+}

@@ -1,0 +1,423 @@
+//! Matrix multiplication kernels.
+//!
+//! The factorized-learning rewrites of §IV replace one big multiplication
+//! over the target table `T` with several smaller multiplications over the
+//! source tables `Dₖ`, so multiplication dominates every benchmark in this
+//! workspace. The kernel below is a cache-blocked `i-k-j` loop ordering
+//! (the inner loop runs over contiguous memory of both `B` and `C`), with
+//! optional row-parallelism over `std::thread::scope` for large problems.
+
+use crate::{DenseMatrix, MatrixError, Result};
+
+/// Minimum FLOP count (2·m·n·k) before the parallel path is considered.
+const PAR_FLOP_THRESHOLD: usize = 8_000_000;
+
+/// Block size for the k-dimension panel.
+const KC: usize = 256;
+
+impl DenseMatrix {
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols() != rhs.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        // Matrix–vector fast path: one dot product per row (the blocked
+        // kernel degenerates to length-1 axpy calls when n == 1).
+        if n == 1 {
+            let v = rhs.as_slice();
+            let mut out = DenseMatrix::zeros(m, 1);
+            for (o, row) in out.as_mut_slice().iter_mut().zip(self.row_iter()) {
+                *o = dot(row, v);
+            }
+            return Ok(out);
+        }
+        let mut out = DenseMatrix::zeros(m, n);
+        let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+        let threads = available_threads();
+        if flops >= PAR_FLOP_THRESHOLD && threads > 1 && m >= threads {
+            matmul_parallel(self, rhs, &mut out, threads);
+        } else {
+            matmul_block(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// Used heavily by the Gram-matrix rewrite (`TᵀT`) and gradient
+    /// computations (`Xᵀr`).
+    pub fn transpose_matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.rows() != rhs.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "transpose_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (k, m) = self.shape(); // output is m×n
+        let n = rhs.cols();
+        let mut out = DenseMatrix::zeros(m, n);
+        // Vector fast path: out += x[l] · row(l) streamed over the rows.
+        if n == 1 {
+            let a = self.as_slice();
+            let x = rhs.as_slice();
+            let o = out.as_mut_slice();
+            for (l, &xl) in x.iter().enumerate() {
+                if xl == 0.0 {
+                    continue;
+                }
+                axpy(xl, &a[l * m..(l + 1) * m], o);
+            }
+            return Ok(out);
+        }
+        // out[i][j] = Σ_l self[l][i] * rhs[l][j] — accumulate row panels.
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let o = out.as_mut_slice();
+        for l in 0..k {
+            let arow = &a[l * m..(l + 1) * m];
+            let brow = &b[l * n..(l + 1) * n];
+            for (i, &aval) in arow.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * n..(i + 1) * n];
+                axpy(aval, brow, orow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self * rhsᵀ` without materializing the transpose.
+    pub fn matmul_transpose(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols() != rhs.cols() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "matmul_transpose",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let m = self.rows();
+        let n = rhs.rows();
+        let k = self.cols();
+        let mut out = DenseMatrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * n..(i + 1) * n];
+            for (j, oval) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                *oval = dot(arow, brow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols() != v.len() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(self.row_iter().map(|row| dot(row, v)).collect())
+    }
+
+    /// Gram matrix `selfᵀ * self`, exploiting symmetry.
+    pub fn gram(&self) -> DenseMatrix {
+        let (r, c) = self.shape();
+        let mut out = DenseMatrix::zeros(c, c);
+        let a = self.as_slice();
+        let o = out.as_mut_slice();
+        for l in 0..r {
+            let row = &a[l * c..(l + 1) * c];
+            for i in 0..c {
+                let v = row[i];
+                if v == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * c + i..(i + 1) * c];
+                for (off, &rj) in row[i..].iter().enumerate() {
+                    orow[off] += v * rj;
+                }
+            }
+        }
+        // Mirror the upper triangle into the lower one.
+        for i in 0..c {
+            for j in 0..i {
+                o[i * c + j] = o[j * c + i];
+            }
+        }
+        out
+    }
+}
+
+/// `y += a * x` over equal-length slices.
+#[inline]
+pub(crate) fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
+    // Four-way unrolled accumulation: keeps independent dependency chains
+    // so the compiler can vectorize.
+    let chunks = x.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let xc = x.chunks_exact(4);
+    let yc = y.chunks_exact(4);
+    let xr = xc.remainder();
+    let yr = yc.remainder();
+    for (a, b) in xc.zip(yc).take(chunks) {
+        s0 += a[0] * b[0];
+        s1 += a[1] * b[1];
+        s2 += a[2] * b[2];
+        s3 += a[3] * b[3];
+    }
+    let mut tail = 0.0;
+    for (a, b) in xr.iter().zip(yr) {
+        tail += a * b;
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Sequential blocked GEMM: `c += a * b` where `a` is `m×k`, `b` is `k×n`.
+fn matmul_block(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    for kb in (0..k).step_by(KC) {
+        let kmax = (kb + KC).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for l in kb..kmax {
+                let aval = arow[l];
+                if aval == 0.0 {
+                    continue;
+                }
+                axpy(aval, &b[l * n..(l + 1) * n], crow);
+            }
+        }
+    }
+}
+
+/// Parallel GEMM: splits the rows of `a` (and `c`) across threads.
+fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, threads: usize) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let rows_per = m.div_ceil(threads);
+    let a_slice = a.as_slice();
+    let b_slice = b.as_slice();
+    let chunks: Vec<(usize, &mut [f64])> = out
+        .as_mut_slice()
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .collect();
+    std::thread::scope(|scope| {
+        for (idx, chunk) in chunks {
+            let row_start = idx * rows_per;
+            let rows_here = chunk.len() / n;
+            let a_part = &a_slice[row_start * k..(row_start + rows_here) * k];
+            scope.spawn(move || {
+                matmul_block(a_part, b_slice, chunk, rows_here, k, n);
+            });
+        }
+    });
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive reference implementation used to validate the optimized kernels.
+    fn matmul_naive(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut out = DenseMatrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += a.get(i, l) * b.get(l, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(13, 13, -2.0, 2.0, &mut rng);
+        let i = DenseMatrix::identity(13);
+        assert!(a.matmul(&i).unwrap().approx_eq(&a, 1e-12));
+        assert!(i.matmul(&a).unwrap().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b).unwrap_err(),
+            MatrixError::DimensionMismatch { op: "matmul", .. }
+        ));
+    }
+
+    #[test]
+    fn matmul_matches_naive_medium() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(37, 53, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(53, 29, -1.0, 1.0, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let slow = matmul_naive(&a, &b);
+        assert!(fast.approx_eq(&slow, 1e-10));
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // Big enough to cross PAR_FLOP_THRESHOLD: 2*200*200*120 = 9.6e6.
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(200, 120, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(120, 200, -1.0, 1.0, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let slow = matmul_naive(&a, &b);
+        assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(23, 11, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(23, 7, -1.0, 1.0, &mut rng);
+        let fused = a.transpose_matmul(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-10));
+        assert!(a.transpose_matmul(&DenseMatrix::zeros(5, 2)).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(9, 14, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(6, 14, -1.0, 1.0, &mut rng);
+        let fused = a.matmul_transpose(&b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-10));
+        assert!(a.matmul_transpose(&DenseMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let v = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(v, vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(31, 17, -1.0, 1.0, &mut rng);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(g.approx_eq(&explicit, 1e-10));
+        // Gram matrices are symmetric.
+        assert!(g.approx_eq(&g.transpose(), 1e-12));
+    }
+
+    #[test]
+    fn zero_sized_products() {
+        let a = DenseMatrix::zeros(0, 3);
+        let b = DenseMatrix::zeros(3, 4);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (0, 4));
+        let c = DenseMatrix::zeros(4, 0);
+        assert_eq!(b.matmul(&c).unwrap().shape(), (3, 0));
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        assert_eq!(dot(&[1.0; 7], &[2.0; 7]), 14.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[3.0], &[4.0]), 12.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_matches_naive(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12,
+            seed in 0u64..u64::MAX,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = DenseMatrix::random_uniform(m, k, -3.0, 3.0, &mut rng);
+            let b = DenseMatrix::random_uniform(k, n, -3.0, 3.0, &mut rng);
+            let fast = a.matmul(&b).unwrap();
+            let slow = matmul_naive(&a, &b);
+            prop_assert!(fast.approx_eq(&slow, 1e-9));
+        }
+
+        #[test]
+        fn prop_matmul_distributes_over_addition(
+            m in 1usize..8, k in 1usize..8, n in 1usize..8,
+            seed in 0u64..u64::MAX,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = DenseMatrix::random_uniform(m, k, -2.0, 2.0, &mut rng);
+            let b = DenseMatrix::random_uniform(k, n, -2.0, 2.0, &mut rng);
+            let c = DenseMatrix::random_uniform(k, n, -2.0, 2.0, &mut rng);
+            let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+            let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+            prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+        }
+
+        #[test]
+        fn prop_transpose_of_product(
+            m in 1usize..8, k in 1usize..8, n in 1usize..8,
+            seed in 0u64..u64::MAX,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = DenseMatrix::random_uniform(m, k, -2.0, 2.0, &mut rng);
+            let b = DenseMatrix::random_uniform(k, n, -2.0, 2.0, &mut rng);
+            // (AB)ᵀ = BᵀAᵀ
+            let lhs = a.matmul(&b).unwrap().transpose();
+            let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+            prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Dense and sparse linear algebra substrate for Amalur.
+//!
+//! The paper represents data-integration metadata as matrices and rewrites
+//! ML computations into linear-algebra expressions over source tables
+//! (§III–IV of *Amalur: Data Integration Meets Machine Learning*, ICDE'23).
+//! This crate provides the matrix machinery those rewrites run on:
+//!
+//! * [`DenseMatrix`] — row-major `f64` matrices with blocked, multi-threaded
+//!   matrix multiplication and the usual element-wise operations.
+//! * [`CsrMatrix`] / [`CooMatrix`] — compressed sparse row / coordinate
+//!   matrices, used for the (very sparse) full mapping and indicator
+//!   matrices `Mₖ` and `Iₖ`.
+//! * Gather/scatter kernels ([`DenseMatrix::gather_rows`],
+//!   [`DenseMatrix::scatter_rows_add`], …) that apply the *compressed*
+//!   metadata vectors `CMₖ`/`CIₖ` without ever building the sparse
+//!   matrices — the physical-level implementation suggested in §III-D.
+//!
+//! Everything is implemented from scratch; no external BLAS is required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod error;
+mod gemm;
+mod ops;
+mod select;
+mod solve;
+mod sparse;
+
+pub use dense::DenseMatrix;
+pub use error::{MatrixError, Result};
+pub use select::{selection_matrix, NO_MATCH};
+pub use sparse::{CooMatrix, CsrMatrix};
+
+/// Tolerance used throughout the workspace when comparing floating point
+/// results of algebraically-equivalent computation strategies.
+pub const EQ_TOL: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are equal within `tol` absolutely or
+/// relatively (whichever is more permissive).
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= scale * tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.01e12, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_zero() {
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+        assert!(approx_eq(0.0, 1e-10, 1e-9));
+        assert!(!approx_eq(0.0, 1e-3, 1e-9));
+    }
+}

@@ -1,0 +1,274 @@
+//! Element-wise operations and reductions.
+
+use crate::{DenseMatrix, MatrixError, Result};
+
+impl DenseMatrix {
+    fn zip_with(&self, other: &DenseMatrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<DenseMatrix> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        DenseMatrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Hadamard (element-wise) product `self ∘ other`.
+    ///
+    /// This is the operator the Amalur rewrite uses to knock out redundant
+    /// contributions: `(Tₖ ∘ Rₖ)` in Equation (2) of the paper.
+    pub fn hadamard(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    /// Element-wise division `self / other` (no zero-checking; IEEE
+    /// semantics apply).
+    pub fn div_elem(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(other, "div_elem", |a, b| a / b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &DenseMatrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "add_assign",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * other` (matrix AXPY).
+    pub fn axpy_assign(&mut self, alpha: f64, other: &DenseMatrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "axpy_assign",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns `self * alpha` for a scalar `alpha`.
+    pub fn scale(&self, alpha: f64) -> DenseMatrix {
+        self.map(|x| x * alpha)
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        self.map_inplace(|x| x * alpha);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Per-row sums, as a column vector of length `rows`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.row_iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Per-column sums, as a vector of length `cols`.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols()];
+        for row in self.row_iter() {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean of all elements; `NaN` for empty matrices.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.len() as f64
+    }
+
+    /// Frobenius norm `sqrt(Σ xᵢⱼ²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.as_slice().iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm (avoids the square root).
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.as_slice().iter().map(|&x| x * x).sum()
+    }
+
+    /// Index of the maximum element in row `i`.
+    pub fn row_argmax(&self, i: usize) -> usize {
+        let row = self.row(i);
+        let mut best = 0;
+        let mut best_val = f64::NEG_INFINITY;
+        for (j, &v) in row.iter().enumerate() {
+            if v > best_val {
+                best_val = v;
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.as_slice().iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Fraction of elements that are zero (1.0 for empty matrices).
+    pub fn sparsity(&self) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.nnz() as f64 / self.len() as f64
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.as_slice().iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[vec![1.0, -2.0, 3.0], vec![0.0, 4.0, -1.0]]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = sample();
+        let b = a.scale(2.0);
+        let sum = a.add(&b).unwrap();
+        assert!(sum.approx_eq(&a.scale(3.0), 1e-12));
+        let diff = sum.sub(&b).unwrap();
+        assert!(diff.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = sample();
+        let b = DenseMatrix::zeros(3, 2);
+        assert!(a.add(&b).is_err());
+        assert!(a.sub(&b).is_err());
+        assert!(a.hadamard(&b).is_err());
+        assert!(a.div_elem(&b).is_err());
+        let mut c = a.clone();
+        assert!(c.add_assign(&b).is_err());
+        assert!(c.axpy_assign(0.5, &b).is_err());
+    }
+
+    #[test]
+    fn hadamard_with_binary_mask_zeros_entries() {
+        let a = sample();
+        let mask =
+            DenseMatrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]]).unwrap();
+        let masked = a.hadamard(&mask).unwrap();
+        assert_eq!(masked.row(0), &[1.0, 0.0, 3.0]);
+        assert_eq!(masked.row(1), &[0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn div_elem_ieee() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let d = a.div_elem(&b).unwrap();
+        assert!(d.get(0, 0).is_infinite());
+        assert!(d.get(0, 1).is_nan());
+        assert!(d.has_non_finite());
+    }
+
+    #[test]
+    fn axpy_assign_accumulates() {
+        let mut acc = DenseMatrix::zeros(2, 3);
+        acc.axpy_assign(2.0, &sample()).unwrap();
+        acc.axpy_assign(-1.0, &sample()).unwrap();
+        assert!(acc.approx_eq(&sample(), 1e-12));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = sample();
+        assert_eq!(a.sum(), 5.0);
+        assert_eq!(a.row_sums(), vec![2.0, 3.0]);
+        assert_eq!(a.col_sums(), vec![1.0, 2.0, 2.0]);
+        assert!((a.mean() - 5.0 / 6.0).abs() < 1e-12);
+        assert!((a.frobenius_norm_sq() - 31.0).abs() < 1e-12);
+        assert!((a.frobenius_norm() - 31.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_and_nnz() {
+        let a = sample();
+        assert_eq!(a.row_argmax(0), 2);
+        assert_eq!(a.row_argmax(1), 1);
+        assert_eq!(a.nnz(), 5);
+        assert!((a.sparsity() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_of_empty_matrix() {
+        assert_eq!(DenseMatrix::zeros(0, 0).sparsity(), 1.0);
+    }
+
+    #[test]
+    fn scale_inplace_matches_scale() {
+        let a = sample();
+        let mut b = a.clone();
+        b.scale_inplace(-0.5);
+        assert!(b.approx_eq(&a.scale(-0.5), 1e-12));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_row_plus_col_sums_equal_total(
+            m in 1usize..10, n in 1usize..10, seed in 0u64..u64::MAX,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = DenseMatrix::random_uniform(m, n, -5.0, 5.0, &mut rng);
+            let by_rows: f64 = a.row_sums().iter().sum();
+            let by_cols: f64 = a.col_sums().iter().sum();
+            prop_assert!((by_rows - a.sum()).abs() < 1e-9);
+            prop_assert!((by_cols - a.sum()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_hadamard_commutes(
+            m in 1usize..8, n in 1usize..8, seed in 0u64..u64::MAX,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = DenseMatrix::random_uniform(m, n, -2.0, 2.0, &mut rng);
+            let b = DenseMatrix::random_uniform(m, n, -2.0, 2.0, &mut rng);
+            prop_assert!(a.hadamard(&b).unwrap().approx_eq(&b.hadamard(&a).unwrap(), 1e-12));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Dense linear-system solver (Gaussian elimination, partial pivoting).
+//!
+//! Used by the closed-form ridge regression path (normal equations
+//! `(TᵀT + λI)θ = Tᵀy`) where the Gram matrix comes from the factorized
+//! rewrites.
+
+use crate::{DenseMatrix, MatrixError, Result};
+
+impl DenseMatrix {
+    /// Solves `self · X = B` for `X` via Gaussian elimination with
+    /// partial pivoting. `self` must be square.
+    ///
+    /// # Errors
+    /// * [`MatrixError::DimensionMismatch`] when `self` is not square or
+    ///   `B` has the wrong row count.
+    /// * [`MatrixError::Singular`] when a pivot vanishes (matrix not
+    ///   invertible to working precision).
+    pub fn solve(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        let n = self.rows();
+        if self.cols() != n || b.rows() != n {
+            return Err(MatrixError::DimensionMismatch {
+                op: "solve",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let m = b.cols();
+        // Augmented working copies.
+        let mut a = self.clone();
+        let mut x = b.clone();
+        for col in 0..n {
+            // Partial pivot: largest |a[r][col]| for r >= col.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a.get(r, col).abs()))
+                .max_by(|p, q| p.1.total_cmp(&q.1))
+                .expect("non-empty range");
+            if pivot_val < 1e-12 {
+                return Err(MatrixError::Singular);
+            }
+            if pivot_row != col {
+                swap_rows(&mut a, col, pivot_row);
+                swap_rows(&mut x, col, pivot_row);
+            }
+            let pivot = a.get(col, col);
+            for r in col + 1..n {
+                let factor = a.get(r, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    let v = a.get(col, c);
+                    let cur = a.get(r, c);
+                    a.set(r, c, cur - factor * v);
+                }
+                for c in 0..m {
+                    let v = x.get(col, c);
+                    let cur = x.get(r, c);
+                    x.set(r, c, cur - factor * v);
+                }
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let pivot = a.get(col, col);
+            for c in 0..m {
+                let mut v = x.get(col, c);
+                for k in col + 1..n {
+                    v -= a.get(col, k) * x.get(k, c);
+                }
+                x.set(col, c, v / pivot);
+            }
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse via [`Self::solve`] against the identity.
+    ///
+    /// # Errors
+    /// Same as [`Self::solve`].
+    pub fn inverse(&self) -> Result<DenseMatrix> {
+        self.solve(&DenseMatrix::identity(self.rows()))
+    }
+}
+
+fn swap_rows(m: &mut DenseMatrix, i: usize, j: usize) {
+    if i == j {
+        return;
+    }
+    let cols = m.cols();
+    let (lo, hi) = (i.min(j), i.max(j));
+    let data = m.as_mut_slice();
+    let (left, right) = data.split_at_mut(hi * cols);
+    left[lo * cols..(lo + 1) * cols].swap_with_slice(&mut right[..cols]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::{prop_assert, proptest};
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5]  →  x = [0.8, 1.4]
+        let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let b = DenseMatrix::column_vector(&[3.0, 5.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x.get(0, 0) - 0.8).abs() < 1e-12);
+        assert!((x.get(1, 0) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let b = DenseMatrix::column_vector(&[2.0, 3.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x.get(0, 0) - 3.0).abs() < 1e-12);
+        assert!((x.get(1, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let b = DenseMatrix::column_vector(&[1.0, 2.0]);
+        assert!(matches!(a.solve(&b).unwrap_err(), MatrixError::Singular));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 1);
+        assert!(a.solve(&b).is_err());
+        let sq = DenseMatrix::identity(3);
+        assert!(sq.solve(&DenseMatrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn multiple_right_hand_sides() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[vec![6.0, 9.0], vec![4.0, 8.0]]).unwrap();
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(
+            &DenseMatrix::from_rows(&[vec![2.0, 3.0], vec![2.0, 4.0]]).unwrap(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = DenseMatrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&DenseMatrix::identity(2), 1e-10));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_recovers_solution(n in 1usize..8, seed in 0u64..u64::MAX) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // Diagonally dominant matrices are well-conditioned & invertible.
+            let mut a = DenseMatrix::random_uniform(n, n, -1.0, 1.0, &mut rng);
+            for i in 0..n {
+                let v = a.get(i, i);
+                a.set(i, i, v + n as f64 + 1.0);
+            }
+            let x_true = DenseMatrix::random_uniform(n, 2, -3.0, 3.0, &mut rng);
+            let b = a.matmul(&x_true).unwrap();
+            let x = a.solve(&b).unwrap();
+            prop_assert!(x.approx_eq(&x_true, 1e-6));
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Compressed sparse row (CSR) and coordinate (COO) matrices.
+//!
+//! The full mapping and indicator matrices `Mₖ` and `Iₖ` of §III are
+//! extremely sparse (at most one non-zero per row). When the physical
+//! representation debate of §III-D calls for keeping them as matrices
+//! (rather than compressed vectors), CSR is the natural layout; these
+//! types also let source tables `Dₖ` with many zero features be stored
+//! sparsely.
+
+use crate::{DenseMatrix, MatrixError, Result};
+
+/// Coordinate-format sparse matrix builder.
+///
+/// COO is append-friendly; convert to [`CsrMatrix`] for computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty COO matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a `(row, col, value)` triplet.
+    ///
+    /// # Errors
+    /// Returns an error when the position is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.rows, self.cols),
+            });
+        }
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+        Ok(())
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Converts to CSR, summing duplicate coordinates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut data = Vec::with_capacity(entries.len());
+        indptr.push(0);
+        let mut row = 0usize;
+        for &(r, c, v) in &entries {
+            while row < r {
+                indptr.push(indices.len());
+                row += 1;
+            }
+            if let (Some(&last_c), true) = (indices.last(), indptr.len() == r + 1) {
+                if last_c == c && indices.len() > indptr[r] {
+                    // Duplicate coordinate within the same row: accumulate.
+                    *data.last_mut().expect("data parallel to indices") += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            data.push(v);
+        }
+        while row < self.rows {
+            indptr.push(indices.len());
+            row += 1;
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidSparseStructure`] when the structure
+    /// is inconsistent (wrong `indptr` length, non-monotonic `indptr`,
+    /// out-of-range or unsorted column indices, `indices`/`data` length
+    /// mismatch).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != rows + 1 {
+            return Err(MatrixError::InvalidSparseStructure(format!(
+                "indptr length {} != rows + 1 = {}",
+                indptr.len(),
+                rows + 1
+            )));
+        }
+        if indices.len() != data.len() {
+            return Err(MatrixError::InvalidSparseStructure(format!(
+                "indices length {} != data length {}",
+                indices.len(),
+                data.len()
+            )));
+        }
+        if *indptr.last().expect("indptr non-empty") != indices.len() {
+            return Err(MatrixError::InvalidSparseStructure(
+                "last indptr entry must equal nnz".into(),
+            ));
+        }
+        for w in indptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(MatrixError::InvalidSparseStructure(
+                    "indptr must be non-decreasing".into(),
+                ));
+            }
+        }
+        for r in 0..rows {
+            let row_idx = &indices[indptr[r]..indptr[r + 1]];
+            for w in row_idx.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(MatrixError::InvalidSparseStructure(format!(
+                        "row {r} column indices must be strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = row_idx.last() {
+                if last >= cols {
+                    return Err(MatrixError::InvalidSparseStructure(format!(
+                        "row {r} has column index {last} >= cols {cols}"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Converts a dense matrix to CSR, dropping zeros.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut coo = CooMatrix::new(dense.rows(), dense.cols());
+        for (i, row) in dense.row_iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(i, j, v).expect("in-bounds by construction");
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Sparse row view: parallel slices of column indices and values.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let range = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[range.clone()], &self.data[range])
+    }
+
+    /// Element access (O(log nnz_row) via binary search).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (idx, vals) = self.row(i);
+        match idx.binary_search(&j) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            let out_row = out.row_mut(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                out_row[j] = v;
+            }
+        }
+        out
+    }
+
+    /// Sparse × dense multiplication: `self * rhs`.
+    pub fn matmul_dense(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != rhs.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "csr_matmul_dense",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let n = rhs.cols();
+        let mut out = DenseMatrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (&l, &v) in idx.iter().zip(vals) {
+                let rhs_row = &rhs.as_slice()[l * n..(l + 1) * n];
+                crate::gemm::axpy(v, rhs_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose.
+    pub fn transpose_matmul_dense(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.rows != rhs.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "csr_transpose_matmul_dense",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let n = rhs.cols();
+        let mut out = DenseMatrix::zeros(self.cols, n);
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            let rhs_row = &rhs.as_slice()[i * n..(i + 1) * n];
+            for (&j, &v) in idx.iter().zip(vals) {
+                let out_row = &mut out.as_mut_slice()[j * n..(j + 1) * n];
+                crate::gemm::axpy(v, rhs_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transposed CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.cols, self.rows);
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                coo.push(j, i, v).expect("transposed coords in bounds");
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Scales every stored value by `alpha`.
+    pub fn scale(&self, alpha: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= alpha;
+        }
+        out
+    }
+
+    /// Sum of all stored values.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_dense() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_to_csr_roundtrip() {
+        let dense = sample_dense();
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.to_dense(), dense);
+    }
+
+    #[test]
+    fn coo_push_validates_bounds() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(0, 0, 1.0).is_ok());
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn coo_drops_explicit_zeros() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 0.0).unwrap();
+        assert_eq!(coo.nnz(), 0);
+    }
+
+    #[test]
+    fn coo_duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 1, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.nnz(), 1);
+    }
+
+    #[test]
+    fn csr_get() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(0, 1), 0.0);
+        assert_eq!(csr.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        // Valid 2x2 with one entry.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 1], vec![0], vec![1.0]).is_ok());
+        // Wrong indptr length.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // indices/data mismatch.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 1], vec![0], vec![]).is_err());
+        // Last indptr != nnz.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0], vec![1.0]).is_err());
+        // Decreasing indptr.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
+        // Column out of range.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Unsorted columns within a row.
+        assert!(
+            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+    }
+
+    #[test]
+    fn csr_matmul_matches_dense() {
+        let dense = sample_dense();
+        let csr = CsrMatrix::from_dense(&dense);
+        let mut rng = rand::thread_rng();
+        let x = DenseMatrix::random_uniform(3, 4, -1.0, 1.0, &mut rng);
+        let sparse_result = csr.matmul_dense(&x).unwrap();
+        let dense_result = dense.matmul(&x).unwrap();
+        assert!(sparse_result.approx_eq(&dense_result, 1e-12));
+        assert!(csr.matmul_dense(&DenseMatrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn csr_transpose_matmul_matches_dense() {
+        let dense = sample_dense();
+        let csr = CsrMatrix::from_dense(&dense);
+        let mut rng = rand::thread_rng();
+        let x = DenseMatrix::random_uniform(3, 2, -1.0, 1.0, &mut rng);
+        let sparse_result = csr.transpose_matmul_dense(&x).unwrap();
+        let dense_result = dense.transpose().matmul(&x).unwrap();
+        assert!(sparse_result.approx_eq(&dense_result, 1e-12));
+        assert!(csr.transpose_matmul_dense(&DenseMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn csr_transpose_roundtrip() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let t = csr.transpose();
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.transpose().to_dense(), sample_dense());
+    }
+
+    #[test]
+    fn csr_scale_and_sum() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        assert_eq!(csr.sum(), 6.0);
+        assert_eq!(csr.scale(2.0).sum(), 12.0);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let dense = DenseMatrix::zeros(4, 3);
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.to_dense(), dense);
+        let x = DenseMatrix::ones(3, 2);
+        assert_eq!(csr.matmul_dense(&x).unwrap(), DenseMatrix::zeros(4, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dense_csr_roundtrip(
+            m in 1usize..10, n in 1usize..10, seed in 0u64..u64::MAX,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // Sparse random matrix: ~70% zeros.
+            let mut dense = DenseMatrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    if rng.gen_bool(0.3) {
+                        dense.set(i, j, rng.gen_range(-5.0..5.0));
+                    }
+                }
+            }
+            let csr = CsrMatrix::from_dense(&dense);
+            prop_assert_eq!(csr.to_dense(), dense.clone());
+            prop_assert_eq!(csr.nnz(), dense.nnz());
+        }
+
+        #[test]
+        fn prop_spmm_matches_gemm(
+            m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..u64::MAX,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut dense = DenseMatrix::zeros(m, k);
+            for i in 0..m {
+                for j in 0..k {
+                    if rng.gen_bool(0.4) {
+                        dense.set(i, j, rng.gen_range(-2.0..2.0));
+                    }
+                }
+            }
+            let x = DenseMatrix::random_uniform(k, n, -2.0, 2.0, &mut rng);
+            let csr = CsrMatrix::from_dense(&dense);
+            prop_assert!(csr.matmul_dense(&x).unwrap().approx_eq(&dense.matmul(&x).unwrap(), 1e-10));
+        }
+    }
+}

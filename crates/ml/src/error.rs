@@ -1,0 +1,77 @@
+//! Error type for ML training.
+
+use std::fmt;
+
+/// Convenience alias for ML results.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// Errors produced during model training or prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Features/labels disagree in shape.
+    ShapeMismatch {
+        /// What was being validated.
+        what: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+    /// Invalid hyper-parameter (e.g. zero clusters, negative rate).
+    InvalidConfig(String),
+    /// Input contains NaN/Inf where finite values are required.
+    NonFiniteInput(&'static str),
+    /// Training diverged (loss became non-finite).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// Model used before fitting.
+    NotFitted,
+    /// Error bubbled up from the compute layer.
+    Compute(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "shape mismatch in {what}: expected {expected}, found {found}"),
+            MlError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            MlError::NonFiniteInput(what) => write!(f, "non-finite values in {what}"),
+            MlError::Diverged { epoch } => write!(f, "training diverged at epoch {epoch}"),
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::Compute(m) => write!(f, "compute error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<amalur_factorize::FactorizeError> for MlError {
+    fn from(e: amalur_factorize::FactorizeError) -> Self {
+        MlError::Compute(e.to_string())
+    }
+}
+
+impl From<amalur_matrix::MatrixError> for MlError {
+    fn from(e: amalur_matrix::MatrixError) -> Self {
+        MlError::Compute(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(MlError::NotFitted.to_string().contains("not been fitted"));
+        assert!(MlError::Diverged { epoch: 3 }.to_string().contains("epoch 3"));
+        let e: MlError = amalur_matrix::MatrixError::Singular.into();
+        assert!(matches!(e, MlError::Compute(_)));
+    }
+}

@@ -1,0 +1,286 @@
+//! K-Means clustering (Lloyd's algorithm) over [`LinOps`].
+//!
+//! The distance computation uses the expansion
+//! `‖T_i − μ_c‖² = ‖T_i‖² − 2·T_i·μ_c + ‖μ_c‖²`,
+//! where the cross term is a single `mul_right` against the centroid
+//! matrix and the row norms come from `row_norms_sq` — both factorized
+//! operators, so clustering never materializes the target table.
+
+use crate::{MlError, Result};
+use amalur_factorize::LinOps;
+use amalur_matrix::DenseMatrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters for [`KMeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on centroid movement (Frobenius).
+    pub tolerance: f64,
+    /// RNG seed for centroid initialization (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iters: 100,
+            tolerance: 1e-9,
+            seed: 42,
+        }
+    }
+}
+
+/// Lloyd's K-Means.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    config: KMeansConfig,
+    centroids: Option<DenseMatrix>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Creates an unfitted model.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self {
+            config,
+            centroids: None,
+            inertia: f64::INFINITY,
+            iterations: 0,
+        }
+    }
+
+    /// Clusters the rows of `x`, returning the assignment vector.
+    ///
+    /// Initialization picks `k` distinct data rows at random (seeded).
+    /// Empty clusters keep their previous centroid.
+    ///
+    /// # Errors
+    /// [`MlError::InvalidConfig`] for `k == 0` or `k > n_rows`.
+    pub fn fit<L: LinOps>(&mut self, x: &L) -> Result<Vec<usize>> {
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let k = self.config.k;
+        if k == 0 || k > n {
+            return Err(MlError::InvalidConfig(format!(
+                "k = {k} must be in 1..={n}"
+            )));
+        }
+        // Initialize centroids from k distinct rows. Rows are extracted
+        // via mul_right with one-hot columns to stay backend-agnostic...
+        // cheaper: use t_mul with one-hot? Row extraction = eᵢᵀ·T, i.e.
+        // (Tᵀ·eᵢ)ᵀ — one t_mul with a n×k one-hot matrix fetches all k.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let chosen = &indices[..k];
+        let mut onehot = DenseMatrix::zeros(n, k);
+        for (c, &row) in chosen.iter().enumerate() {
+            onehot.set(row, c, 1.0);
+        }
+        let mut centroids = x.t_mul(&onehot)?.transpose(); // k × d
+
+        let row_norms = x.row_norms_sq();
+        let mut assignments = vec![0usize; n];
+        for iter in 0..self.config.max_iters {
+            // Cross terms: T · centroidsᵀ  (n × k).
+            let cross = x.mul_right(&centroids.transpose())?;
+            let centroid_norms: Vec<f64> =
+                (0..k).map(|c| {
+                    let row = centroids.row(c);
+                    row.iter().map(|v| v * v).sum()
+                }).collect();
+            let mut inertia = 0.0;
+            for i in 0..n {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                let cross_row = cross.row(i);
+                for c in 0..k {
+                    let dist = row_norms[i] - 2.0 * cross_row[c] + centroid_norms[c];
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                assignments[i] = best;
+                inertia += best_d.max(0.0);
+            }
+            self.inertia = inertia;
+            self.iterations = iter + 1;
+            // Update: μ_c = Σ_{i∈c} T_i / |c| via Tᵀ·A with A one-hot.
+            let mut a = DenseMatrix::zeros(n, k);
+            let mut counts = vec![0usize; k];
+            for (i, &c) in assignments.iter().enumerate() {
+                a.set(i, c, 1.0);
+                counts[c] += 1;
+            }
+            let sums = x.t_mul(&a)?.transpose(); // k × d
+            let mut new_centroids = centroids.clone();
+            for (c, &count) in counts.iter().enumerate() {
+                if count == 0 {
+                    continue; // keep previous centroid for empty clusters
+                }
+                let inv = 1.0 / count as f64;
+                for j in 0..d {
+                    new_centroids.set(c, j, sums.get(c, j) * inv);
+                }
+            }
+            let movement = new_centroids
+                .sub(&centroids)
+                .map(|m| m.frobenius_norm())
+                .unwrap_or(f64::INFINITY);
+            centroids = new_centroids;
+            if movement < self.config.tolerance {
+                break;
+            }
+        }
+        self.centroids = Some(centroids);
+        Ok(assignments)
+    }
+
+    /// Assigns each row of `x` to its nearest fitted centroid.
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] before `fit`.
+    pub fn predict<L: LinOps>(&self, x: &L) -> Result<Vec<usize>> {
+        let centroids = self.centroids.as_ref().ok_or(MlError::NotFitted)?;
+        let k = centroids.rows();
+        let cross = x.mul_right(&centroids.transpose())?;
+        let row_norms = x.row_norms_sq();
+        let centroid_norms: Vec<f64> = (0..k)
+            .map(|c| centroids.row(c).iter().map(|v| v * v).sum())
+            .collect();
+        Ok((0..x.n_rows())
+            .map(|i| {
+                let cross_row = cross.row(i);
+                (0..k)
+                    .min_by(|&a, &b| {
+                        let da = row_norms[i] - 2.0 * cross_row[a] + centroid_norms[a];
+                        let db = row_norms[i] - 2.0 * cross_row[b] + centroid_norms[b];
+                        da.total_cmp(&db)
+                    })
+                    .expect("k >= 1")
+            })
+            .collect())
+    }
+
+    /// Fitted centroids (`k × d`).
+    pub fn centroids(&self) -> Option<&DenseMatrix> {
+        self.centroids.as_ref()
+    }
+
+    /// Final within-cluster sum of squares.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of Lloyd iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Two well-separated Gaussian-ish blobs.
+    fn blobs(n_per: usize, seed: u64) -> (DenseMatrix, Vec<usize>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per {
+            let _ = i;
+            rows.push(vec![rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]);
+            labels.push(0);
+        }
+        for _ in 0..n_per {
+            rows.push(vec![10.0 + rng.gen_range(-0.5..0.5), 10.0 + rng.gen_range(-0.5..0.5)]);
+            labels.push(1);
+        }
+        (DenseMatrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (x, truth) = blobs(50, 1);
+        let mut km = KMeans::new(KMeansConfig {
+            k: 2,
+            ..KMeansConfig::default()
+        });
+        let assign = km.fit(&x).unwrap();
+        // Perfect clustering up to label permutation.
+        let agree = assign.iter().zip(&truth).filter(|(a, b)| a == b).count();
+        let agreement = agree.max(assign.len() - agree) as f64 / assign.len() as f64;
+        assert_eq!(agreement, 1.0);
+        assert!(km.inertia() < 100.0);
+        assert!(km.iterations() >= 1);
+    }
+
+    #[test]
+    fn predict_matches_fit_assignments() {
+        let (x, _) = blobs(30, 2);
+        let mut km = KMeans::new(KMeansConfig {
+            k: 2,
+            ..KMeansConfig::default()
+        });
+        let assign = km.fit(&x).unwrap();
+        let again = km.predict(&x).unwrap();
+        assert_eq!(assign, again);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, _) = blobs(30, 3);
+        let run = |seed| {
+            let mut km = KMeans::new(KMeansConfig {
+                k: 2,
+                seed,
+                ..KMeansConfig::default()
+            });
+            km.fit(&x).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn invalid_k() {
+        let (x, _) = blobs(5, 4);
+        let mut km = KMeans::new(KMeansConfig {
+            k: 0,
+            ..KMeansConfig::default()
+        });
+        assert!(km.fit(&x).is_err());
+        let mut km = KMeans::new(KMeansConfig {
+            k: 100,
+            ..KMeansConfig::default()
+        });
+        assert!(km.fit(&x).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 0.0]])
+            .unwrap();
+        let mut km = KMeans::new(KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        });
+        km.fit(&x).unwrap();
+        assert!(km.inertia() < 1e-9);
+    }
+
+    #[test]
+    fn not_fitted_predict_errors() {
+        let (x, _) = blobs(5, 5);
+        let km = KMeans::new(KMeansConfig::default());
+        assert!(matches!(km.predict(&x).unwrap_err(), MlError::NotFitted));
+    }
+}

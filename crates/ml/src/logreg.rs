@@ -1,0 +1,220 @@
+//! Binary logistic regression (gradient descent).
+
+use crate::linreg::validate_labels;
+use crate::{MlError, Result};
+use amalur_factorize::LinOps;
+use amalur_matrix::DenseMatrix;
+
+/// Hyper-parameters for [`LogisticRegression`].
+#[derive(Debug, Clone)]
+pub struct LogRegConfig {
+    /// Number of gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            learning_rate: 0.5,
+            l2: 0.0,
+        }
+    }
+}
+
+/// Binary logistic regression — the mortality classifier of the paper's
+/// running example ("predict the mortality (binary classification) of
+/// patients", §I).
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    config: LogRegConfig,
+    theta: Option<DenseMatrix>,
+    loss_history: Vec<f64>,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Creates an unfitted model.
+    pub fn new(config: LogRegConfig) -> Self {
+        Self {
+            config,
+            theta: None,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// Trains on `(X, y)` with `y ∈ {0, 1}` (`n_rows × 1`).
+    ///
+    /// # Errors
+    /// Shape mismatch, labels outside `{0, 1}`, or divergence.
+    pub fn fit<L: LinOps>(&mut self, x: &L, y: &DenseMatrix) -> Result<()> {
+        validate_labels(x, y)?;
+        if y.as_slice().iter().any(|&v| v != 0.0 && v != 1.0) {
+            return Err(MlError::InvalidConfig(
+                "logistic regression labels must be 0 or 1".into(),
+            ));
+        }
+        let n = x.n_rows() as f64;
+        let mut theta = DenseMatrix::zeros(x.n_cols(), 1);
+        self.loss_history.clear();
+        for epoch in 0..self.config.epochs {
+            let z = x.mul_right(&theta)?;
+            let p = z.map(sigmoid);
+            // Cross-entropy loss with clamping for numeric safety.
+            let loss = -y
+                .as_slice()
+                .iter()
+                .zip(p.as_slice())
+                .map(|(&yi, &pi)| {
+                    let pi = pi.clamp(1e-12, 1.0 - 1e-12);
+                    yi * pi.ln() + (1.0 - yi) * (1.0 - pi).ln()
+                })
+                .sum::<f64>()
+                / n;
+            if !loss.is_finite() {
+                return Err(MlError::Diverged { epoch });
+            }
+            self.loss_history.push(loss);
+            let resid = p.sub(y)?;
+            let mut grad = x.t_mul(&resid)?;
+            if self.config.l2 > 0.0 {
+                grad.axpy_assign(self.config.l2, &theta)?;
+            }
+            theta.axpy_assign(-self.config.learning_rate / n, &grad)?;
+        }
+        self.theta = Some(theta);
+        Ok(())
+    }
+
+    /// Predicted probabilities `σ(Xθ)`.
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] before `fit`, or shape mismatch.
+    pub fn predict_proba<L: LinOps>(&self, x: &L) -> Result<Vec<f64>> {
+        let theta = self.theta.as_ref().ok_or(MlError::NotFitted)?;
+        Ok(x.mul_right(theta)?.map(sigmoid).into_vec())
+    }
+
+    /// Hard 0/1 predictions at threshold 0.5.
+    ///
+    /// # Errors
+    /// Same as [`Self::predict_proba`].
+    pub fn predict<L: LinOps>(&self, x: &L) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| if p >= 0.5 { 1.0 } else { 0.0 })
+            .collect())
+    }
+
+    /// The fitted coefficient vector.
+    pub fn coefficients(&self) -> Option<&DenseMatrix> {
+        self.theta.as_ref()
+    }
+
+    /// Per-epoch cross-entropy loss.
+    pub fn loss_history(&self) -> &[f64] {
+        &self.loss_history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Linearly separable data: label = 1 iff x₀ + x₁ > 0.
+    fn separable(n: usize, seed: u64) -> (DenseMatrix, DenseMatrix) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = DenseMatrix::random_uniform(n, 2, -1.0, 1.0, &mut rng);
+        let y: Vec<f64> = (0..n)
+            .map(|i| if x.get(i, 0) + x.get(i, 1) > 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        (x, DenseMatrix::column_vector(&y))
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (x, y) = separable(300, 1);
+        let mut model = LogisticRegression::new(LogRegConfig {
+            epochs: 500,
+            learning_rate: 1.0,
+            l2: 0.0,
+        });
+        model.fit(&x, &y).unwrap();
+        let pred = model.predict(&x).unwrap();
+        let acc = crate::metrics::accuracy(&pred, y.as_slice());
+        assert!(acc > 0.95, "accuracy {acc} too low");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (x, y) = separable(200, 2);
+        let mut model = LogisticRegression::new(LogRegConfig::default());
+        model.fit(&x, &y).unwrap();
+        let h = model.loss_history();
+        assert!(h.first().unwrap() > h.last().unwrap());
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (x, y) = separable(100, 3);
+        let mut model = LogisticRegression::new(LogRegConfig::default());
+        model.fit(&x, &y).unwrap();
+        for p in model.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn rejects_non_binary_labels() {
+        let (x, _) = separable(10, 4);
+        let y = DenseMatrix::column_vector(&[0.0, 1.0, 2.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let mut model = LogisticRegression::new(LogRegConfig::default());
+        assert!(matches!(
+            model.fit(&x, &y).unwrap_err(),
+            MlError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn l2_shrinks_coefficients() {
+        let (x, y) = separable(200, 5);
+        let mut plain = LogisticRegression::new(LogRegConfig::default());
+        plain.fit(&x, &y).unwrap();
+        let mut reg = LogisticRegression::new(LogRegConfig {
+            l2: 10.0,
+            ..LogRegConfig::default()
+        });
+        reg.fit(&x, &y).unwrap();
+        assert!(
+            reg.coefficients().unwrap().frobenius_norm()
+                < plain.coefficients().unwrap().frobenius_norm()
+        );
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let (x, _) = separable(5, 6);
+        let model = LogisticRegression::new(LogRegConfig::default());
+        assert!(matches!(
+            model.predict(&x).unwrap_err(),
+            MlError::NotFitted
+        ));
+    }
+
+    #[test]
+    fn sigmoid_extremes() {
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert_eq!(sigmoid(0.0), 0.5);
+    }
+}

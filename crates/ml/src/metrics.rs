@@ -1,0 +1,118 @@
+//! Evaluation metrics.
+
+/// Mean squared error between predictions and targets.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mse: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    mse(pred, truth).sqrt()
+}
+
+/// Coefficient of determination `R²`; 1.0 is a perfect fit. Returns 0.0
+/// when the target has zero variance.
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "r2: length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Fraction of exactly-equal predictions (for 0/1 labels).
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+pub fn accuracy(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "accuracy: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / pred.len() as f64
+}
+
+/// Binary cross-entropy of predicted probabilities against 0/1 labels.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+pub fn log_loss(proba: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(proba.len(), truth.len(), "log_loss: length mismatch");
+    if proba.is_empty() {
+        return 0.0;
+    }
+    -proba
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let p = p.clamp(1e-12, 1.0 - 1e-12);
+            t * p.ln() + (1.0 - t) * (1.0 - p).ln()
+        })
+        .sum::<f64>()
+        / proba.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_rmse() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert!((rmse(&[1.0, 2.0], &[1.0, 4.0]) - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn r2_perfect_and_baseline() {
+        assert_eq!(r2(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 1.0);
+        // Predicting the mean gives R² = 0.
+        let r = r2(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(r.abs() < 1e-12);
+        // Constant target: defined as 0.
+        assert_eq!(r2(&[1.0, 1.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        // Confident correct prediction → tiny loss.
+        assert!(log_loss(&[0.999], &[1.0]) < 0.01);
+        // Confident wrong prediction → large loss.
+        assert!(log_loss(&[0.001], &[1.0]) > 5.0);
+        // Extreme probabilities are clamped, not infinite.
+        assert!(log_loss(&[0.0], &[1.0]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

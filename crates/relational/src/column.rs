@@ -1,0 +1,219 @@
+//! Typed columnar storage.
+
+use crate::{DataType, RelationalError, Result, Value};
+
+/// A typed, nullable column of values.
+///
+/// Storage is typed per column (not `Vec<Value>`) so numeric columns can
+/// be handed to the matrix layer without per-cell enum matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column.
+    Int64(Vec<Option<i64>>),
+    /// Float column.
+    Float64(Vec<Option<f64>>),
+    /// String column.
+    Utf8(Vec<Option<String>>),
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn empty(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int64(Vec::new()),
+            DataType::Float64 => Column::Float64(Vec::new()),
+            DataType::Utf8 => Column::Utf8(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// Creates an empty column with reserved capacity.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int64(Vec::with_capacity(cap)),
+            DataType::Float64 => Column::Float64(Vec::with_capacity(cap)),
+            DataType::Utf8 => Column::Utf8(Vec::with_capacity(cap)),
+            DataType::Bool => Column::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int64(_) => DataType::Int64,
+            Column::Float64(_) => DataType::Float64,
+            Column::Utf8(_) => DataType::Utf8,
+            Column::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of values (including NULLs).
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Utf8(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Float64(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Utf8(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Fraction of entries that are NULL (0.0 for empty columns).
+    pub fn null_ratio(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.null_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Reads the value at `row` as a dynamic [`Value`].
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int64(v) => v[row].map_or(Value::Null, Value::Int),
+            Column::Float64(v) => v[row].map_or(Value::Null, Value::Float),
+            Column::Utf8(v) => v[row].clone().map_or(Value::Null, Value::Str),
+            Column::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
+        }
+    }
+
+    /// Appends a dynamic [`Value`], coercing `Int` into `Float64` columns.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::TypeMismatch`] when the value is not
+    /// admissible for this column's type. The `column` field of the error
+    /// is filled by the caller via [`Result::map_err`]; here it is `"?"`.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (self, &value) {
+            (Column::Int64(v), Value::Int(i)) => v.push(Some(*i)),
+            (Column::Int64(v), Value::Null) => v.push(None),
+            (Column::Float64(v), Value::Float(f)) => v.push(Some(*f)),
+            (Column::Float64(v), Value::Int(i)) => v.push(Some(*i as f64)),
+            (Column::Float64(v), Value::Null) => v.push(None),
+            (Column::Utf8(v), Value::Str(s)) => v.push(Some(s.clone())),
+            (Column::Utf8(v), Value::Null) => v.push(None),
+            (Column::Bool(v), Value::Bool(b)) => v.push(Some(*b)),
+            (Column::Bool(v), Value::Null) => v.push(None),
+            (col, value) => {
+                return Err(RelationalError::TypeMismatch {
+                    column: "?".to_owned(),
+                    expected: col.dtype().name(),
+                    found: format!("{value:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the value at `row` as `f64` (NULL → `None`; strings → error).
+    pub fn get_f64(&self, row: usize) -> Result<Option<f64>> {
+        match self {
+            Column::Int64(v) => Ok(v[row].map(|i| i as f64)),
+            Column::Float64(v) => Ok(v[row]),
+            Column::Bool(v) => Ok(v[row].map(|b| if b { 1.0 } else { 0.0 })),
+            Column::Utf8(_) => Err(RelationalError::NonNumericColumn("?".to_owned())),
+        }
+    }
+
+    /// Gathers rows by index into a new column (indices must be in range).
+    pub fn gather(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Int64(v) => Column::Int64(rows.iter().map(|&r| v[r]).collect()),
+            Column::Float64(v) => Column::Float64(rows.iter().map(|&r| v[r]).collect()),
+            Column::Utf8(v) => Column::Utf8(rows.iter().map(|&r| v[r].clone()).collect()),
+            Column::Bool(v) => Column::Bool(rows.iter().map(|&r| v[r]).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::empty(DataType::Int64);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut c = Column::empty(DataType::Float64);
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.get(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::empty(DataType::Int64);
+        assert!(c.push(Value::Float(1.5)).is_err());
+        assert!(c.push(Value::Str("x".into())).is_err());
+        let mut s = Column::empty(DataType::Utf8);
+        assert!(s.push(Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn null_counting() {
+        let mut c = Column::empty(DataType::Utf8);
+        c.push(Value::Str("a".into())).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.null_count(), 2);
+        assert!((c.null_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Column::empty(DataType::Int64).null_ratio(), 0.0);
+    }
+
+    #[test]
+    fn get_f64_conversions() {
+        let mut c = Column::empty(DataType::Bool);
+        c.push(Value::Bool(true)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.get_f64(0).unwrap(), Some(1.0));
+        assert_eq!(c.get_f64(1).unwrap(), None);
+        let mut s = Column::empty(DataType::Utf8);
+        s.push(Value::Str("x".into())).unwrap();
+        assert!(s.get_f64(0).is_err());
+    }
+
+    #[test]
+    fn gather_reorders_and_duplicates() {
+        let mut c = Column::empty(DataType::Int64);
+        for i in 0..4 {
+            c.push(Value::Int(i)).unwrap();
+        }
+        let g = c.gather(&[3, 0, 0]);
+        assert_eq!(g.get(0), Value::Int(3));
+        assert_eq!(g.get(1), Value::Int(0));
+        assert_eq!(g.get(2), Value::Int(0));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn with_capacity_types() {
+        for dt in [DataType::Int64, DataType::Float64, DataType::Utf8, DataType::Bool] {
+            let c = Column::with_capacity(dt, 16);
+            assert_eq!(c.dtype(), dt);
+            assert!(c.is_empty());
+        }
+    }
+}

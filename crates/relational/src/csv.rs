@@ -1,0 +1,307 @@
+//! CSV import/export with type inference.
+//!
+//! Silos in practice expose their tables as files; this module lets the
+//! examples and benchmarks round-trip [`Table`]s through CSV. The parser
+//! handles RFC-4180 quoting (embedded commas, quotes, newlines) and infers
+//! the narrowest column type over all rows (`Int64 → Float64 → Bool →
+//! Utf8`, with empty cells as NULL).
+
+use crate::{DataType, Field, RelationalError, Result, Schema, Table, Value};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Parses CSV text (first line = header) into a table named `name`.
+///
+/// # Errors
+/// Returns [`RelationalError::Parse`] on malformed quoting or ragged rows.
+pub fn read_csv_str(name: &str, text: &str) -> Result<Table> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(RelationalError::Parse("empty CSV input".into()));
+    }
+    let header = records.remove(0);
+    let arity = header.len();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != arity {
+            return Err(RelationalError::Parse(format!(
+                "row {} has {} fields, header has {arity}",
+                i + 1,
+                rec.len()
+            )));
+        }
+    }
+    let dtypes: Vec<DataType> = (0..arity)
+        .map(|c| infer_type(records.iter().map(|r| r[c].as_str())))
+        .collect();
+    let schema = Schema::new(
+        header
+            .iter()
+            .zip(&dtypes)
+            .map(|(n, &t)| Field::new(n.clone(), t))
+            .collect(),
+    )?;
+    let mut table = Table::empty(name, schema);
+    for rec in &records {
+        let row: Vec<Value> = rec
+            .iter()
+            .zip(&dtypes)
+            .map(|(cell, &t)| parse_cell(cell, t))
+            .collect::<Result<_>>()?;
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Reads a CSV file into a table named after the file stem.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("table")
+        .to_owned();
+    let text = std::fs::read_to_string(path)?;
+    read_csv_str(&name, &text)
+}
+
+/// Serializes a table to CSV text.
+pub fn to_csv_string(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.schema().names();
+    out.push_str(&escape_row(&names));
+    out.push('\n');
+    for i in 0..table.num_rows() {
+        let cells: Vec<String> = table.row(i).iter().map(ToString::to_string).collect();
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        out.push_str(&escape_row(&refs));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a table to a CSV file.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(to_csv_string(table).as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+fn escape_row(cells: &[&str]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                (*c).to_owned()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Splits CSV text into records of unquoted field strings.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationalError::Parse("unterminated quoted field".into()));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Infers the narrowest type that admits every non-empty cell.
+fn infer_type<'a>(cells: impl Iterator<Item = &'a str>) -> DataType {
+    let mut could_int = true;
+    let mut could_float = true;
+    let mut could_bool = true;
+    let mut saw_value = false;
+    for cell in cells {
+        if cell.is_empty() {
+            continue;
+        }
+        saw_value = true;
+        if could_int && cell.parse::<i64>().is_err() {
+            could_int = false;
+        }
+        if could_float && cell.parse::<f64>().is_err() {
+            could_float = false;
+        }
+        if could_bool && !matches!(cell, "true" | "false") {
+            could_bool = false;
+        }
+    }
+    if !saw_value {
+        return DataType::Utf8; // all-NULL column defaults to string
+    }
+    if could_int {
+        DataType::Int64
+    } else if could_float {
+        DataType::Float64
+    } else if could_bool {
+        DataType::Bool
+    } else {
+        DataType::Utf8
+    }
+}
+
+fn parse_cell(cell: &str, dtype: DataType) -> Result<Value> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    let bad = |what: &str| RelationalError::Parse(format!("cannot parse {cell:?} as {what}"));
+    Ok(match dtype {
+        DataType::Int64 => Value::Int(cell.parse().map_err(|_| bad("Int64"))?),
+        DataType::Float64 => Value::Float(cell.parse().map_err(|_| bad("Float64"))?),
+        DataType::Bool => Value::Bool(cell.parse().map_err(|_| bad("Bool"))?),
+        DataType::Utf8 => Value::Str(cell.to_owned()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_csv() {
+        let t = read_csv_str("t", "id,name,score\n1,Jack,3.5\n2,Sam,4.0\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().field("id").unwrap().dtype, DataType::Int64);
+        assert_eq!(t.schema().field("name").unwrap().dtype, DataType::Utf8);
+        assert_eq!(t.schema().field("score").unwrap().dtype, DataType::Float64);
+        assert_eq!(t.value(0, "name").unwrap(), "Jack".into());
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let t = read_csv_str("t", "a,b\n1,\n,2\n").unwrap();
+        assert_eq!(t.value(0, "b").unwrap(), Value::Null);
+        assert_eq!(t.value(1, "a").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn type_promotion_int_to_float_to_string() {
+        let t = read_csv_str("t", "x\n1\n2.5\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().dtype, DataType::Float64);
+        let t = read_csv_str("t", "x\n1\nhello\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().dtype, DataType::Utf8);
+    }
+
+    #[test]
+    fn bool_inference() {
+        let t = read_csv_str("t", "flag\ntrue\nfalse\n").unwrap();
+        assert_eq!(t.schema().field("flag").unwrap().dtype, DataType::Bool);
+        assert_eq!(t.value(0, "flag").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = read_csv_str("t", "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.value(0, "a").unwrap(), "x,y".into());
+        assert_eq!(t.value(0, "b").unwrap(), "he said \"hi\"".into());
+    }
+
+    #[test]
+    fn quoted_newline() {
+        let t = read_csv_str("t", "a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.value(0, "a").unwrap(), "line1\nline2".into());
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let t = read_csv_str("t", "a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.value(0, "b").unwrap(), 2.into());
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let t = read_csv_str("t", "a\n1").unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(read_csv_str("t", "a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(read_csv_str("t", "a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_csv_str("t", "").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_string() {
+        let text = "id,name\n1,Jack\n2,\"Sam, Jr.\"\n";
+        let t = read_csv_str("t", text).unwrap();
+        let back = to_csv_string(&t);
+        let t2 = read_csv_str("t", &back).unwrap();
+        assert_eq!(t.num_rows(), t2.num_rows());
+        assert_eq!(t.value(1, "name").unwrap(), t2.value(1, "name").unwrap());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("amalur_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("patients.csv");
+        let t = read_csv_str("patients", "id,age\n1,20\n2,35\n").unwrap();
+        write_csv(&t, &path).unwrap();
+        let t2 = read_csv(&path).unwrap();
+        assert_eq!(t2.name(), "patients");
+        assert_eq!(t2.num_rows(), 2);
+        assert_eq!(t2.value(1, "age").unwrap(), 35.into());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_null_column_is_utf8() {
+        let t = read_csv_str("t", "a,b\n1,\n2,\n").unwrap();
+        assert_eq!(t.schema().field("b").unwrap().dtype, DataType::Utf8);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for relational operations.
+
+use std::fmt;
+
+/// Convenience alias for relational results.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+/// Errors produced by the relational substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationalError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Expected data type (as rendered by `DataType::name`).
+        expected: &'static str,
+        /// What was actually supplied.
+        found: String,
+    },
+    /// Row has a different arity than the schema.
+    ArityMismatch {
+        /// Number of fields in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// Two schemas are incompatible for the requested operation (e.g.
+    /// union of tables with different columns).
+    SchemaMismatch(String),
+    /// Duplicate column name while constructing a schema.
+    DuplicateColumn(String),
+    /// Attempted to convert a non-numeric column to a matrix.
+    NonNumericColumn(String),
+    /// A NULL was encountered where a value is required.
+    UnexpectedNull {
+        /// Column name.
+        column: String,
+        /// Row index.
+        row: usize,
+    },
+    /// Error parsing external data (CSV).
+    Parse(String),
+    /// I/O error (file read/write); stringified to keep the type `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            RelationalError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch in column {column}: expected {expected}, found {found}"
+            ),
+            RelationalError::ArityMismatch { expected, found } => {
+                write!(f, "row arity {found} does not match schema arity {expected}")
+            }
+            RelationalError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            RelationalError::DuplicateColumn(name) => {
+                write!(f, "duplicate column name: {name}")
+            }
+            RelationalError::NonNumericColumn(name) => {
+                write!(f, "column {name} is not numeric")
+            }
+            RelationalError::UnexpectedNull { column, row } => {
+                write!(f, "unexpected NULL in column {column} at row {row}")
+            }
+            RelationalError::Parse(msg) => write!(f, "parse error: {msg}"),
+            RelationalError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+impl From<std::io::Error> for RelationalError {
+    fn from(e: std::io::Error) -> Self {
+        RelationalError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            RelationalError::UnknownColumn("x".into()).to_string(),
+            "unknown column: x"
+        );
+        assert!(RelationalError::ArityMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("arity 2"));
+    }
+
+    #[test]
+    fn io_error_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: RelationalError = io.into();
+        assert!(matches!(e, RelationalError::Io(_)));
+    }
+}

@@ -1,0 +1,483 @@
+//! Hash joins and union — the four dataset relationships of Table I.
+//!
+//! The paper's materialization strategy integrates silos with full outer
+//! joins (Example 1), inner joins (Example 2), left joins (Example 3) and
+//! unions (Example 4). The joins here use *DI-merge semantics*: columns
+//! that appear in both inputs (the mapped columns of a natural join) are
+//! **coalesced** into a single output column — left value when present,
+//! right value otherwise — exactly how a data integration system merges
+//! "the mapped columns and linked entities" (§I).
+
+use crate::{Field, RelationalError, Result, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// The join variant, mirroring Table I's dataset relationships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinType {
+    /// Only rows matched on the key (Example 2).
+    Inner,
+    /// All left rows, plus right values where matched (Example 3).
+    Left,
+    /// All rows from both sides (Example 1).
+    FullOuter,
+}
+
+/// Composite join key for a row: length-prefixed concatenation of the
+/// normalized key bytes. `None` when any key component is NULL (SQL
+/// semantics: NULL matches nothing).
+fn row_key(table: &Table, row: usize, key_cols: &[usize]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    for &c in key_cols {
+        let bytes = table.column(c).get(row).key_bytes()?;
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    Some(out)
+}
+
+/// Hash join of `left` and `right` on the key pairs `on`
+/// (`(left_col, right_col)`), with DI-merge semantics for shared columns.
+///
+/// Output schema: all left columns (keys included), followed by the right
+/// columns that are neither join keys nor name-shared with a left column.
+/// Shared (same-name, non-key) right columns are coalesced into the left
+/// column of the same name. All output fields are nullable, since outer
+/// variants introduce NULLs.
+///
+/// # Errors
+/// Returns an error when a key column is missing or key dtypes are
+/// incompatible for equality.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    on: &[(&str, &str)],
+    how: JoinType,
+) -> Result<Table> {
+    if on.is_empty() {
+        return Err(RelationalError::SchemaMismatch(
+            "join requires at least one key pair".into(),
+        ));
+    }
+    let left_keys: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| left.schema().index_of(l))
+        .collect::<Result<_>>()?;
+    let right_keys: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| right.schema().index_of(r))
+        .collect::<Result<_>>()?;
+
+    // Classify right columns: key / shared-with-left / right-only.
+    let mut right_only: Vec<usize> = Vec::new();
+    // Maps right column index -> left output column index for coalescing.
+    let mut shared: Vec<(usize, usize)> = Vec::new();
+    for (ri, rf) in right.schema().fields().iter().enumerate() {
+        if right_keys.contains(&ri) {
+            continue;
+        }
+        if let Ok(li) = left.schema().index_of(&rf.name) {
+            shared.push((ri, li));
+        } else {
+            right_only.push(ri);
+        }
+    }
+
+    // Output schema: left fields (all nullable) + right-only fields.
+    let mut fields: Vec<Field> = left
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| Field::new(f.name.clone(), f.dtype))
+        .collect();
+    for &ri in &right_only {
+        let rf = &right.schema().fields()[ri];
+        fields.push(Field::new(rf.name.clone(), rf.dtype));
+    }
+    let out_schema = Schema::new(fields)?;
+    let mut out = Table::empty(format!("{}_join_{}", left.name(), right.name()), out_schema);
+
+    // Build phase over the smaller probe-side convention: build on right.
+    let mut index: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(right.num_rows());
+    for r in 0..right.num_rows() {
+        if let Some(key) = row_key(right, r, &right_keys) {
+            index.entry(key).or_default().push(r);
+        }
+    }
+
+    let emit = |out: &mut Table, l: Option<usize>, r: Option<usize>| -> Result<()> {
+        let mut row: Vec<Value> = Vec::with_capacity(out.num_cols());
+        for (li, _f) in left.schema().fields().iter().enumerate() {
+            let mut v = l.map_or(Value::Null, |lr| left.column(li).get(lr));
+            // Coalesce: left key/shared columns fall back to right values.
+            if v.is_null() {
+                if let Some(rr) = r {
+                    if let Some(pos) = left_keys.iter().position(|&k| k == li) {
+                        v = right.column(right_keys[pos]).get(rr);
+                    } else if let Some(&(ri, _)) =
+                        shared.iter().find(|&&(_, sli)| sli == li)
+                    {
+                        v = right.column(ri).get(rr);
+                    }
+                }
+            }
+            row.push(v);
+        }
+        for &ri in &right_only {
+            row.push(r.map_or(Value::Null, |rr| right.column(ri).get(rr)));
+        }
+        out.push_row(row)
+    };
+
+    let mut right_matched = vec![false; right.num_rows()];
+    for l in 0..left.num_rows() {
+        let matches = row_key(left, l, &left_keys).and_then(|k| index.get(&k));
+        match matches {
+            Some(rs) => {
+                for &r in rs {
+                    right_matched[r] = true;
+                    emit(&mut out, Some(l), Some(r))?;
+                }
+            }
+            None => {
+                if how != JoinType::Inner {
+                    emit(&mut out, Some(l), None)?;
+                }
+            }
+        }
+    }
+    if how == JoinType::FullOuter {
+        for (r, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                emit(&mut out, None, Some(r))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Concatenates tables with name-compatible schemas (Example 4 / HFL).
+///
+/// Columns are aligned by name to the first table's order; each input must
+/// contain every column of the first table with an admissible type. Extra
+/// columns in later tables are dropped (they are unmapped in the target
+/// schema, like `dd` in the running example).
+pub fn union_all(tables: &[&Table]) -> Result<Table> {
+    let first = tables
+        .first()
+        .ok_or_else(|| RelationalError::SchemaMismatch("union of zero tables".into()))?;
+    let names = first.schema().names();
+    let fields: Vec<Field> = first
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| Field::new(f.name.clone(), f.dtype))
+        .collect();
+    let mut out = Table::empty(format!("{}_union", first.name()), Schema::new(fields)?);
+    for t in tables {
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| {
+                t.schema().index_of(n).map_err(|_| {
+                    RelationalError::SchemaMismatch(format!(
+                        "table {} lacks column {n} required by the union schema",
+                        t.name()
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        for r in 0..t.num_rows() {
+            let row: Vec<Value> = idx.iter().map(|&c| t.column(c).get(r)).collect();
+            out.push_row(row)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, TableBuilder};
+
+    /// S1(m, n, a, hr) from Figure 2a.
+    fn s1() -> Table {
+        TableBuilder::new(
+            "S1",
+            &[
+                ("m", DataType::Int64),
+                ("n", DataType::Utf8),
+                ("a", DataType::Float64),
+                ("hr", DataType::Float64),
+            ],
+        )
+        .unwrap()
+        .row(vec![0.into(), "Jack".into(), 20.0.into(), 60.0.into()])
+        .unwrap()
+        .row(vec![1.into(), "Sam".into(), 35.0.into(), 58.0.into()])
+        .unwrap()
+        .row(vec![0.into(), "Ruby".into(), 22.0.into(), 65.0.into()])
+        .unwrap()
+        .row(vec![1.into(), "Jane".into(), 37.0.into(), 70.0.into()])
+        .unwrap()
+        .build()
+    }
+
+    /// S2(m, n, a, o, dd) from Figure 2b.
+    fn s2() -> Table {
+        TableBuilder::new(
+            "S2",
+            &[
+                ("m", DataType::Int64),
+                ("n", DataType::Utf8),
+                ("a", DataType::Float64),
+                ("o", DataType::Float64),
+                ("dd", DataType::Utf8),
+            ],
+        )
+        .unwrap()
+        .row(vec![1.into(), "Rose".into(), 45.0.into(), 95.0.into(), "1/4/21".into()])
+        .unwrap()
+        .row(vec![0.into(), "Castiel".into(), 20.0.into(), 97.0.into(), "3/8/22".into()])
+        .unwrap()
+        .row(vec![1.into(), "Jane".into(), 37.0.into(), 92.0.into(), "11/5/21".into()])
+        .unwrap()
+        .build()
+    }
+
+    #[test]
+    fn inner_join_running_example() {
+        // Only Jane appears in both tables.
+        let t = hash_join(&s1(), &s2(), &[("n", "n")], JoinType::Inner).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.value(0, "n").unwrap(), "Jane".into());
+        assert_eq!(t.value(0, "hr").unwrap(), Value::Float(70.0));
+        assert_eq!(t.value(0, "o").unwrap(), Value::Float(92.0));
+        // Shared column m is coalesced, not duplicated.
+        assert!(t.schema().contains("m"));
+        assert_eq!(
+            t.schema().names().iter().filter(|&&n| n == "m").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn left_join_running_example() {
+        let t = hash_join(&s1(), &s2(), &[("n", "n")], JoinType::Left).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        // Jack has no oxygen measurement.
+        assert_eq!(t.value(0, "o").unwrap(), Value::Null);
+        // Jane got hers from S2.
+        let jane = t.filter(|i, t| t.value(i, "n").unwrap() == "Jane".into());
+        assert_eq!(jane.value(0, "o").unwrap(), Value::Float(92.0));
+    }
+
+    #[test]
+    fn full_outer_join_matches_figure_2d() {
+        // Fig. 2d: T has 6 rows — Jack, Sam, Ruby, Jane (merged), Rose, Castiel.
+        let t = hash_join(&s1(), &s2(), &[("n", "n")], JoinType::FullOuter).unwrap();
+        assert_eq!(t.num_rows(), 6);
+        let proj = t.project(&["m", "a", "hr", "o"]).unwrap();
+        assert_eq!(proj.num_cols(), 4);
+        // Jane's row merges both sources: hr from S1, o from S2.
+        let jane = t.filter(|i, t| t.value(i, "n").unwrap() == "Jane".into());
+        assert_eq!(jane.num_rows(), 1);
+        assert_eq!(jane.value(0, "hr").unwrap(), Value::Float(70.0));
+        assert_eq!(jane.value(0, "o").unwrap(), Value::Float(92.0));
+        // Rose's row (right-only) has coalesced key + left-null hr.
+        let rose = t.filter(|i, t| t.value(i, "n").unwrap() == "Rose".into());
+        assert_eq!(rose.value(0, "m").unwrap(), 1.into());
+        assert_eq!(rose.value(0, "a").unwrap(), Value::Float(45.0));
+        assert_eq!(rose.value(0, "hr").unwrap(), Value::Null);
+        assert_eq!(rose.value(0, "o").unwrap(), Value::Float(95.0));
+    }
+
+    #[test]
+    fn join_requires_keys_and_valid_columns() {
+        assert!(hash_join(&s1(), &s2(), &[], JoinType::Inner).is_err());
+        assert!(hash_join(&s1(), &s2(), &[("nope", "n")], JoinType::Inner).is_err());
+        assert!(hash_join(&s1(), &s2(), &[("n", "nope")], JoinType::Inner).is_err());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = TableBuilder::new("l", &[("k", DataType::Utf8), ("x", DataType::Int64)])
+            .unwrap()
+            .row(vec![Value::Null, 1.into()])
+            .unwrap()
+            .build();
+        let r = TableBuilder::new("r", &[("k", DataType::Utf8), ("y", DataType::Int64)])
+            .unwrap()
+            .row(vec![Value::Null, 2.into()])
+            .unwrap()
+            .build();
+        let inner = hash_join(&l, &r, &[("k", "k")], JoinType::Inner).unwrap();
+        assert_eq!(inner.num_rows(), 0);
+        let outer = hash_join(&l, &r, &[("k", "k")], JoinType::FullOuter).unwrap();
+        assert_eq!(outer.num_rows(), 2); // both survive unmatched
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cartesian_matches() {
+        let l = TableBuilder::new("l", &[("k", DataType::Int64)])
+            .unwrap()
+            .row(vec![1.into()])
+            .unwrap()
+            .row(vec![1.into()])
+            .unwrap()
+            .build();
+        let r = TableBuilder::new("r", &[("k", DataType::Int64), ("v", DataType::Int64)])
+            .unwrap()
+            .row(vec![1.into(), 10.into()])
+            .unwrap()
+            .row(vec![1.into(), 20.into()])
+            .unwrap()
+            .build();
+        let t = hash_join(&l, &r, &[("k", "k")], JoinType::Inner).unwrap();
+        assert_eq!(t.num_rows(), 4);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let t = hash_join(&s1(), &s2(), &[("n", "n"), ("a", "a")], JoinType::Inner).unwrap();
+        assert_eq!(t.num_rows(), 1); // Jane matches on both name and age
+    }
+
+    #[test]
+    fn int_float_keys_join_numerically() {
+        let l = TableBuilder::new("l", &[("k", DataType::Int64)])
+            .unwrap()
+            .row(vec![1.into()])
+            .unwrap()
+            .build();
+        let r = TableBuilder::new("r", &[("k", DataType::Float64), ("v", DataType::Int64)])
+            .unwrap()
+            .row(vec![1.0.into(), 5.into()])
+            .unwrap()
+            .build();
+        let t = hash_join(&l, &r, &[("k", "k")], JoinType::Inner).unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn union_all_aligns_by_name_and_drops_extras() {
+        // Example 4: S1(m,n,a,hr,o) ∪ S2(m,n,a,hr,o,dd) → T(m,a,hr,o)
+        let u1 = TableBuilder::new(
+            "U1",
+            &[("m", DataType::Int64), ("a", DataType::Float64)],
+        )
+        .unwrap()
+        .row(vec![0.into(), 20.0.into()])
+        .unwrap()
+        .build();
+        let u2 = TableBuilder::new(
+            "U2",
+            &[
+                ("a", DataType::Float64),
+                ("m", DataType::Int64),
+                ("dd", DataType::Utf8),
+            ],
+        )
+        .unwrap()
+        .row(vec![45.0.into(), 1.into(), "1/4/21".into()])
+        .unwrap()
+        .build();
+        let u = union_all(&[&u1, &u2]).unwrap();
+        assert_eq!(u.num_rows(), 2);
+        assert_eq!(u.schema().names(), vec!["m", "a"]);
+        assert_eq!(u.value(1, "m").unwrap(), 1.into());
+        assert_eq!(u.value(1, "a").unwrap(), Value::Float(45.0));
+    }
+
+    #[test]
+    fn union_schema_mismatch() {
+        let u1 = TableBuilder::new("U1", &[("m", DataType::Int64)]).unwrap().build();
+        let u2 = TableBuilder::new("U2", &[("x", DataType::Int64)]).unwrap().build();
+        assert!(union_all(&[&u1, &u2]).is_err());
+        assert!(union_all(&[]).is_err());
+    }
+
+    #[test]
+    fn inner_subset_of_left_subset_of_outer() {
+        let inner = hash_join(&s1(), &s2(), &[("n", "n")], JoinType::Inner).unwrap();
+        let left = hash_join(&s1(), &s2(), &[("n", "n")], JoinType::Left).unwrap();
+        let outer = hash_join(&s1(), &s2(), &[("n", "n")], JoinType::FullOuter).unwrap();
+        assert!(inner.num_rows() <= left.num_rows());
+        assert!(left.num_rows() <= outer.num_rows());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::{prop_assert, prop_assert_eq, proptest};
+        use rand::{Rng, SeedableRng};
+
+        /// Random table with integer keys in a small domain (forcing both
+        /// matches and misses) and one payload column.
+        fn random_table(name: &str, rows: usize, key_domain: i64, seed: u64) -> Table {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut b = TableBuilder::new(
+                name,
+                &[("k", DataType::Int64), ("v", DataType::Float64)],
+            )
+            .unwrap();
+            for _ in 0..rows {
+                b = b
+                    .row(vec![
+                        rng.gen_range(0..key_domain).into(),
+                        rng.gen_range(-10.0..10.0).into(),
+                    ])
+                    .unwrap();
+            }
+            b.build()
+        }
+
+        proptest! {
+            /// |inner| ≤ |left| ≤ |outer|, |left| ≥ |L|, and the outer
+            /// join covers every key from both sides.
+            #[test]
+            fn prop_join_algebra(
+                lrows in 0usize..20, rrows in 0usize..20,
+                domain in 1i64..8, seed in 0u64..u64::MAX,
+            ) {
+                let l = random_table("L", lrows, domain, seed);
+                let r = random_table("R", rrows, domain, seed.wrapping_add(1));
+                let inner = hash_join(&l, &r, &[("k", "k")], JoinType::Inner).unwrap();
+                let left = hash_join(&l, &r, &[("k", "k")], JoinType::Left).unwrap();
+                let outer = hash_join(&l, &r, &[("k", "k")], JoinType::FullOuter).unwrap();
+                prop_assert!(inner.num_rows() <= left.num_rows());
+                prop_assert!(left.num_rows() <= outer.num_rows());
+                prop_assert!(left.num_rows() >= l.num_rows());
+                // Every key value of both inputs appears in the outer join.
+                let outer_keys: std::collections::HashSet<i64> = (0..outer.num_rows())
+                    .filter_map(|i| outer.value(i, "k").unwrap().as_i64())
+                    .collect();
+                for t in [&l, &r] {
+                    for i in 0..t.num_rows() {
+                        let k = t.value(i, "k").unwrap().as_i64().unwrap();
+                        prop_assert!(outer_keys.contains(&k), "key {k} missing from outer join");
+                    }
+                }
+                // Inner-join cardinality = Σ_k |L_k|·|R_k| (hash-join math).
+                let count = |t: &Table, key: i64| {
+                    (0..t.num_rows())
+                        .filter(|&i| t.value(i, "k").unwrap().as_i64() == Some(key))
+                        .count()
+                };
+                let expected_inner: usize =
+                    (0..domain).map(|k| count(&l, k) * count(&r, k)).sum();
+                prop_assert_eq!(inner.num_rows(), expected_inner);
+            }
+
+            /// Union row count is the sum of input row counts, and the
+            /// result preserves the first table's schema.
+            #[test]
+            fn prop_union_counts(
+                rows_a in 0usize..15, rows_b in 0usize..15, seed in 0u64..u64::MAX,
+            ) {
+                let a = random_table("A", rows_a, 5, seed);
+                let b = random_table("B", rows_b, 5, seed.wrapping_add(9));
+                let u = union_all(&[&a, &b]).unwrap();
+                prop_assert_eq!(u.num_rows(), rows_a + rows_b);
+                prop_assert_eq!(u.schema().names(), a.schema().names());
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Typed relational tables, joins and CSV I/O.
+//!
+//! The *materialization* strategy of the paper (§IV) integrates source
+//! tables with relational joins and exports the resulting target table to
+//! the ML pipeline (Fig. 2). This crate is that substrate: a small,
+//! self-contained columnar table engine with
+//!
+//! * typed, nullable columns ([`Column`], [`Value`], [`DataType`]),
+//! * schemas with named fields ([`Schema`], [`Field`]),
+//! * hash joins — inner, left and full outer — plus union
+//!   ([`join::hash_join`], [`join::union_all`]), matching the four dataset
+//!   relationships of Table I,
+//! * CSV import/export with type inference ([`csv`]),
+//! * conversion of numeric projections to [`amalur_matrix::DenseMatrix`]
+//!   for model training ([`Table::to_matrix`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod column;
+pub mod csv;
+mod error;
+pub mod join;
+mod schema;
+mod table;
+mod value;
+
+pub use column::Column;
+pub use error::{RelationalError, Result};
+pub use join::{hash_join, union_all, JoinType};
+pub use schema::{DataType, Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::Value;

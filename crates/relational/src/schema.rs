@@ -1,0 +1,231 @@
+//! Schemas and data types.
+
+use crate::{RelationalError, Result, Value};
+use std::fmt;
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Int64,
+    /// 64-bit floats.
+    Float64,
+    /// UTF-8 strings.
+    Utf8,
+    /// Booleans.
+    Bool,
+}
+
+impl DataType {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Utf8 => "Utf8",
+            DataType::Bool => "Bool",
+        }
+    }
+
+    /// `true` for types that convert losslessly to `f64` features.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64 | DataType::Bool)
+    }
+
+    /// Whether `value` is admissible in a column of this type
+    /// (NULL is always admissible; Int is admissible in Float64 columns).
+    pub fn accepts(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (DataType::Int64, Value::Int(_))
+                | (DataType::Float64, Value::Float(_) | Value::Int(_))
+                | (DataType::Utf8, Value::Str(_))
+                | (DataType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name, unique within its schema.
+    pub name: String,
+    /// Column data type.
+    pub dtype: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Creates a nullable field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+
+    /// Creates a non-nullable field.
+    pub fn not_null(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered collection of uniquely-named fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema, checking for duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(RelationalError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Self { fields })
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| RelationalError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Field descriptor by name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// `true` if a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Builds the projected sub-schema over `names` (in the given order).
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let fields = names
+            .iter()
+            .map(|n| self.field(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+            if !field.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("score", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("score").unwrap(), 2);
+        assert!(s.index_of("missing").is_err());
+        assert_eq!(s.field("name").unwrap().dtype, DataType::Utf8);
+        assert!(s.contains("id"));
+        assert!(!s.contains("nope"));
+        assert_eq!(s.names(), vec!["id", "name", "score"]);
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let s = schema();
+        let p = s.project(&["score", "id"]).unwrap();
+        assert_eq!(p.names(), vec!["score", "id"]);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn datatype_accepts() {
+        assert!(DataType::Float64.accepts(&Value::Int(1)));
+        assert!(DataType::Float64.accepts(&Value::Float(1.0)));
+        assert!(!DataType::Int64.accepts(&Value::Float(1.0)));
+        assert!(DataType::Int64.accepts(&Value::Null));
+        assert!(DataType::Utf8.accepts(&Value::Str("x".into())));
+        assert!(!DataType::Utf8.accepts(&Value::Bool(true)));
+        assert!(DataType::Bool.accepts(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(DataType::Bool.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = schema();
+        let shown = s.to_string();
+        assert!(shown.contains("id: Int64 NOT NULL"));
+        assert!(shown.contains("name: Utf8"));
+    }
+}

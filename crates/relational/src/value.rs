@@ -1,0 +1,244 @@
+//! Scalar values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single scalar cell value.
+///
+/// `Value` is the dynamic-typing boundary of the engine: rows are read and
+/// written as `Vec<Value>`, while storage stays typed per column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// `true` when the value is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Converts numeric-ish values to `f64` (the encoding used when a
+    /// table column becomes an ML feature). Booleans become 0.0/1.0;
+    /// strings and NULLs return `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Null | Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload for `Str` values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload for `Int` values.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// A total ordering suitable for sorting and equality joins:
+    /// `Null < Bool < Int/Float (numeric order) < Str`. Ints and floats
+    /// compare numerically so `Int(1) == Float(1.0)` for join purposes.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Bool(_), _) => Ordering::Less,
+            (_, Bool(_)) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(_) | Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_) | Float(_)) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+        }
+    }
+
+    /// Join-key equality: NULL never equals anything (SQL semantics),
+    /// ints and floats compare numerically.
+    pub fn key_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// A hashable normalization of the value for use as a hash-join key.
+    /// Returns `None` for NULL (which must not match anything).
+    pub fn key_bytes(&self) -> Option<Vec<u8>> {
+        match self {
+            Value::Null => None,
+            Value::Int(i) => {
+                // Normalize to float bits so Int(1) and Float(1.0) collide.
+                let mut v = vec![b'n'];
+                v.extend_from_slice(&(*i as f64).to_bits().to_le_bytes());
+                Some(v)
+            }
+            Value::Float(f) => {
+                let mut v = vec![b'n'];
+                // Normalize -0.0 to 0.0 so they hash identically.
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                v.extend_from_slice(&f.to_bits().to_le_bytes());
+                Some(v)
+            }
+            Value::Str(s) => {
+                let mut v = vec![b's'];
+                v.extend_from_slice(s.as_bytes());
+                Some(v)
+            }
+            Value::Bool(b) => Some(vec![b'b', u8::from(*b)]),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_checks() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn as_f64_conversions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Bool(false).as_f64(), Some(0.0));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn ordering_across_types() {
+        let mut vals = [
+            Value::Str("b".into()),
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Bool(true),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(1.5));
+        assert_eq!(vals[3], Value::Int(2));
+        assert_eq!(vals[4], Value::Str("b".into()));
+    }
+
+    #[test]
+    fn int_float_numeric_equality() {
+        assert!(Value::Int(1).key_eq(&Value::Float(1.0)));
+        assert_eq!(
+            Value::Int(1).key_bytes(),
+            Value::Float(1.0).key_bytes()
+        );
+    }
+
+    #[test]
+    fn null_never_joins() {
+        assert!(!Value::Null.key_eq(&Value::Null));
+        assert!(Value::Null.key_bytes().is_none());
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        assert_eq!(
+            Value::Float(0.0).key_bytes(),
+            Value::Float(-0.0).key_bytes()
+        );
+    }
+
+    #[test]
+    fn key_bytes_distinguish_types() {
+        // "1" as a string must not join with 1 as a number.
+        assert_ne!(Value::Str("1".into()).key_bytes(), Value::Int(1).key_bytes());
+        assert_ne!(Value::Bool(true).key_bytes(), Value::Int(1).key_bytes());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from(1.0f64), Value::Float(1.0));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+    }
+}

@@ -1,0 +1,115 @@
+//! Catalog persistence: the hybrid metadata catalog must survive a full
+//! JSON round trip with every entry kind — source, DI metadata, model —
+//! and keep its lineage queries intact.
+
+use amalur::catalog::{DiEntry, MetadataCatalog, ModelEntry, SourceEntry};
+use amalur::integration::integrate_pair;
+use amalur::prelude::*;
+use std::collections::BTreeMap;
+
+#[test]
+fn full_catalog_roundtrip_through_file() {
+    let dir = std::env::temp_dir().join("amalur_catalog_roundtrip");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("catalog.json");
+
+    let s1 = amalur::data::hospital::s1();
+    let s2 = amalur::data::hospital::s2();
+    let catalog = MetadataCatalog::new();
+
+    // Source entries straight from the tables.
+    catalog
+        .register_source(SourceEntry::from_table(&s1, "er-department"))
+        .expect("fresh");
+    catalog
+        .register_source(SourceEntry::from_table(&s2, "pulmonary-department"))
+        .expect("fresh");
+
+    // DI entry from a real integration run.
+    let result = integrate_pair(
+        &s1,
+        &s2,
+        ScenarioKind::FullOuterJoin,
+        &IntegrationOptions::with_key("n", "n"),
+    )
+    .expect("running example integrates");
+    catalog
+        .register_integration(DiEntry::from_metadata(
+            "hospital-join",
+            ScenarioKind::FullOuterJoin,
+            &result.metadata,
+            &result.tgds,
+        ))
+        .expect("fresh id");
+
+    // A model entry with lineage.
+    let mut metrics = BTreeMap::new();
+    metrics.insert("train_accuracy".to_owned(), 0.83);
+    catalog
+        .register_model(ModelEntry {
+            name: "mortality-clf".into(),
+            model_type: "logistic_regression".into(),
+            environment: "amalur-native".into(),
+            strategy: "factorized".into(),
+            hyperparameters: BTreeMap::new(),
+            metrics,
+            trained_on: vec!["hospital-join".into()],
+        })
+        .expect("fresh name");
+
+    catalog.save(&path).expect("writable");
+    let reloaded = MetadataCatalog::load(&path).expect("readable");
+
+    // Sources.
+    let s1_entry = reloaded.source("S1").expect("persisted");
+    assert_eq!(s1_entry.num_rows, 4);
+    assert_eq!(s1_entry.schema.len(), 4);
+    assert_eq!(s1_entry.schema[1].name, "n");
+    assert_eq!(s1_entry.schema[1].dtype, "Utf8");
+
+    // DI metadata: the compressed vectors survive exactly.
+    let di = reloaded.integration("hospital-join").expect("persisted");
+    assert_eq!(di.scenario, "full outer join");
+    assert_eq!(di.target_columns, vec!["m", "a", "hr", "o"]);
+    assert_eq!(di.mappings[0], vec![0, 1, 2, -1]);
+    assert_eq!(di.mappings[1], vec![0, 1, -1, 2]);
+    assert_eq!(di.indicators[0], vec![0, 1, 2, 3, -1, -1]);
+    assert_eq!(di.indicators[1], vec![-1, -1, -1, 2, 0, 1]);
+    assert_eq!(di.redundant_cells, vec![0, 2]);
+    assert_eq!(di.tgds.len(), 3);
+    assert!(di.tgds[0].contains('∧'));
+
+    // Model + lineage.
+    let model = reloaded.model("mortality-clf").expect("persisted");
+    assert_eq!(model.metrics["train_accuracy"], 0.83);
+    assert_eq!(
+        reloaded.models_trained_on("hospital-join"),
+        vec!["mortality-clf"]
+    );
+
+    // Stability: serializing the reloaded catalog reproduces the file.
+    let json1 = catalog.to_json().expect("serializable");
+    let json2 = reloaded.to_json().expect("serializable");
+    assert_eq!(json1, json2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_registrations_rejected_after_reload() {
+    let catalog = MetadataCatalog::new();
+    catalog
+        .register_source(SourceEntry::from_table(
+            &amalur::data::hospital::s1(),
+            "er",
+        ))
+        .expect("fresh");
+    let json = catalog.to_json().expect("serializable");
+    let reloaded = MetadataCatalog::from_json(&json).expect("parseable");
+    assert!(reloaded
+        .register_source(SourceEntry::from_table(
+            &amalur::data::hospital::s1(),
+            "er",
+        ))
+        .is_err());
+}

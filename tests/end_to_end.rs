@@ -1,0 +1,184 @@
+//! End-to-end pipeline tests: the full Figure 3 flow — register silos,
+//! integrate, optimize, execute, persist the catalog — at a few hundred
+//! rows scale.
+
+use amalur::prelude::*;
+
+fn build_system(n_er: usize, n_pulm: usize, overlap: usize) -> (Amalur, IntegrationHandle) {
+    let (er, pulm) = amalur::data::hospital::scaled_silos(n_er, n_pulm, overlap, 31);
+    let mut system = Amalur::new();
+    system.register_silo(er, "er-department").expect("fresh");
+    system.register_silo(pulm, "pulmonary-department").expect("fresh");
+    let handle = system
+        .integrate(
+            "S1",
+            "S2",
+            ScenarioKind::FullOuterJoin,
+            &IntegrationOptions::with_exact_key("n", "n"),
+        )
+        .expect("hospital silos integrate");
+    (system, handle)
+}
+
+#[test]
+fn pipeline_register_integrate_train_records_everything() {
+    let (mut system, handle) = build_system(300, 200, 120);
+
+    // Basic metadata landed in the catalog.
+    let s1 = system.catalog().source("S1").expect("registered");
+    assert_eq!(s1.num_rows, 300);
+    assert_eq!(s1.silo_location, "er-department");
+    assert!(s1.schema.iter().any(|f| f.name == "hr"));
+
+    // DI metadata landed too, with the discovered matches.
+    let di = system.catalog().integration(&handle.id).expect("recorded");
+    assert_eq!(di.target_rows, 300 + 200 - 120);
+    assert_eq!(di.mappings.len(), 2);
+    assert_eq!(di.indicators[0].len(), di.target_rows);
+    assert!(di.redundant_cells[1] > 0);
+
+    // Train under the optimizer's plan.
+    let workload = TrainingWorkload {
+        epochs: 60,
+        x_cols: 1,
+    };
+    let plan = system.plan(&handle, &workload, &Constraints::default());
+    let model = system
+        .train_linear_regression(
+            &handle,
+            0,
+            &TrainingConfig {
+                epochs: 60,
+                learning_rate: 1e-5,
+                l2: 0.0,
+            },
+            plan,
+        )
+        .expect("training succeeds");
+    assert!(model.final_loss.is_finite());
+
+    // Lineage: the model points back to the integration.
+    let models = system.catalog().models_trained_on(&handle.id);
+    assert_eq!(models, vec![model.name.clone()]);
+
+    // Catalog persists and reloads.
+    let json = system.catalog().to_json().expect("serializable");
+    let reloaded = MetadataCatalog::from_json(&json).expect("parseable");
+    assert_eq!(reloaded.model(&model.name).expect("persisted").strategy, plan.to_string());
+    assert_eq!(reloaded.integration(&handle.id).expect("persisted").sources, vec!["S1", "S2"]);
+}
+
+#[test]
+fn all_three_plans_produce_consistent_models() {
+    let (mut system, handle) = build_system(200, 150, 100);
+    let config = TrainingConfig {
+        epochs: 40,
+        learning_rate: 1e-5,
+        l2: 0.0,
+    };
+    let fact = system
+        .train_linear_regression(&handle, 0, &config, ExecutionPlan::Factorize)
+        .expect("factorized");
+    let mat = system
+        .train_linear_regression(&handle, 0, &config, ExecutionPlan::Materialize)
+        .expect("materialized");
+    let fed = system
+        .train_linear_regression(
+            &handle,
+            0,
+            &config,
+            ExecutionPlan::Federated(PrivacyMode::Plaintext),
+        )
+        .expect("federated");
+
+    // Factorized ≡ materialized exactly.
+    assert!(fact.coefficients.approx_eq(&mat.coefficients, 1e-9));
+    // The federated parameterization splits shared columns across
+    // parties (a strictly more expressive model, §V-B's overlapping-
+    // columns case), so coefficients and losses are close but not
+    // identical.
+    assert!(fed.final_loss.is_finite());
+    let ratio = fed.final_loss / fact.final_loss.max(1e-12);
+    assert!(
+        (0.5..=1.5).contains(&ratio),
+        "federated loss {} vs central {}",
+        fed.final_loss,
+        fact.final_loss
+    );
+    assert_eq!(system.catalog().models_trained_on(&handle.id).len(), 3);
+}
+
+#[test]
+fn privacy_constraint_forces_federated_plan_end_to_end() {
+    let (mut system, handle) = build_system(150, 100, 60);
+    let plan = system.plan(
+        &handle,
+        &TrainingWorkload::default(),
+        &Constraints {
+            privacy_required: true,
+            privacy_mode: Some(PrivacyMode::SecretShared),
+        },
+    );
+    assert_eq!(plan, ExecutionPlan::Federated(PrivacyMode::SecretShared));
+    let model = system
+        .train_linear_regression(
+            &handle,
+            0,
+            &TrainingConfig {
+                epochs: 25,
+                learning_rate: 1e-5,
+                l2: 0.0,
+            },
+            plan,
+        )
+        .expect("secret-shared training completes");
+    let entry = system.catalog().model(&model.name).expect("registered");
+    assert_eq!(entry.strategy, "federated(secret-shared)");
+}
+
+#[test]
+fn csv_roundtrip_feeds_the_pipeline() {
+    // Silos often arrive as files: CSV → Table → integrate → train.
+    let dir = std::env::temp_dir().join("amalur_e2e_csv");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let (er, pulm) = amalur::data::hospital::scaled_silos(120, 80, 50, 37);
+    let er_path = dir.join("S1.csv");
+    let pulm_path = dir.join("S2.csv");
+    amalur::relational::csv::write_csv(&er, &er_path).expect("writable");
+    amalur::relational::csv::write_csv(&pulm, &pulm_path).expect("writable");
+
+    let er2 = amalur::relational::csv::read_csv(&er_path).expect("readable");
+    let pulm2 = amalur::relational::csv::read_csv(&pulm_path).expect("readable");
+    assert_eq!(er2.num_rows(), 120);
+
+    let mut system = Amalur::new();
+    system.register_silo(er2, "file://S1.csv").expect("fresh");
+    system.register_silo(pulm2, "file://S2.csv").expect("fresh");
+    let handle = system
+        .integrate(
+            "S1",
+            "S2",
+            ScenarioKind::LeftJoin,
+            &IntegrationOptions::with_exact_key("n", "n"),
+        )
+        .expect("CSV round-tripped tables still integrate");
+    assert_eq!(handle.table.target_shape().0, 120);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn integrating_unknown_silos_fails_cleanly() {
+    let mut system = Amalur::new();
+    system
+        .register_silo(amalur::data::hospital::s1(), "er")
+        .expect("fresh");
+    let err = system
+        .integrate(
+            "S1",
+            "nope",
+            ScenarioKind::InnerJoin,
+            &IntegrationOptions::with_exact_key("n", "n"),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("nope"));
+}

@@ -1,0 +1,208 @@
+//! The paper's central ML guarantee (§IV): "factorized learning does not
+//! affect model training accuracy". Every model of the Morpheus suite —
+//! linear regression, logistic regression, K-Means, GNMF — must produce
+//! identical results on a `FactorizedTable` and on its materialization.
+
+use amalur::prelude::*;
+use amalur_data::TwoSourceSpec;
+
+/// A moderately sized PK–FK silo configuration (fan-out 4, 40 features).
+fn factorized_fixture(seed: u64) -> FactorizedTable {
+    let spec = TwoSourceSpec {
+        rows_s1: 240,
+        cols_s1: 3,
+        rows_s2: 60,
+        cols_s2: 37,
+        shared_cols: 1,
+        target_redundancy: true,
+        row_coverage: 1.0,
+        source_redundancy: false,
+        seed,
+    };
+    let (md, data) = amalur::data::generate_two_source(&spec).expect("valid spec");
+    FactorizedTable::new(md, data).expect("consistent")
+}
+
+/// Synthetic labels with a planted linear model over the target columns.
+fn planted_labels(ft: &FactorizedTable, binary: bool) -> DenseMatrix {
+    let t = ft.materialize();
+    let (rows, cols) = t.shape();
+    let y: Vec<f64> = (0..rows)
+        .map(|i| {
+            let mut v = 0.0;
+            for j in 0..cols {
+                // Alternating-sign weights keep the signal bounded.
+                let w = if j % 2 == 0 { 0.2 } else { -0.15 };
+                v += w * t.get(i, j);
+            }
+            if binary {
+                f64::from(v > 0.0)
+            } else {
+                v
+            }
+        })
+        .collect();
+    DenseMatrix::column_vector(&y)
+}
+
+#[test]
+fn linear_regression_identical_factorized_and_materialized() {
+    let ft = factorized_fixture(1);
+    let y = planted_labels(&ft, false);
+    let config = LinRegConfig {
+        epochs: 100,
+        learning_rate: 0.01,
+        l2: 0.5,
+        tolerance: 0.0,
+    };
+    let mut fact = LinearRegression::new(config.clone());
+    fact.fit(&ft, &y).expect("factorized trains");
+    let mut mat = LinearRegression::new(config);
+    mat.fit(&ft.materialize(), &y).expect("materialized trains");
+    assert!(fact
+        .coefficients()
+        .expect("fitted")
+        .approx_eq(mat.coefficients().expect("fitted"), 1e-9));
+    // Loss histories coincide epoch by epoch.
+    for (a, b) in fact.loss_history().iter().zip(mat.loss_history()) {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+}
+
+#[test]
+fn closed_form_ridge_uses_the_factorized_gram() {
+    let ft = factorized_fixture(2);
+    let y = planted_labels(&ft, false);
+    let config = LinRegConfig {
+        l2: 1.0,
+        ..LinRegConfig::default()
+    };
+    let mut fact = LinearRegression::new(config.clone());
+    fact.fit_normal_equations(&ft, &y).expect("factorized solves");
+    let mut mat = LinearRegression::new(config);
+    mat.fit_normal_equations(&ft.materialize(), &y)
+        .expect("materialized solves");
+    assert!(fact
+        .coefficients()
+        .expect("fitted")
+        .approx_eq(mat.coefficients().expect("fitted"), 1e-6));
+}
+
+#[test]
+fn logistic_regression_identical_factorized_and_materialized() {
+    let ft = factorized_fixture(3);
+    let y = planted_labels(&ft, true);
+    let config = LogRegConfig {
+        epochs: 80,
+        learning_rate: 0.1,
+        l2: 0.0,
+    };
+    let mut fact = LogisticRegression::new(config.clone());
+    fact.fit(&ft, &y).expect("factorized trains");
+    let mut mat = LogisticRegression::new(config);
+    mat.fit(&ft.materialize(), &y).expect("materialized trains");
+    assert!(fact
+        .coefficients()
+        .expect("fitted")
+        .approx_eq(mat.coefficients().expect("fitted"), 1e-9));
+    let pf = fact.predict_proba(&ft).expect("fitted");
+    let pm = mat.predict_proba(&ft.materialize()).expect("fitted");
+    for (a, b) in pf.iter().zip(&pm) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn kmeans_identical_factorized_and_materialized() {
+    let ft = factorized_fixture(4);
+    let config = KMeansConfig {
+        k: 3,
+        max_iters: 50,
+        tolerance: 1e-12,
+        seed: 9,
+    };
+    let mut fact = KMeans::new(config.clone());
+    let assign_fact = fact.fit(&ft).expect("factorized clusters");
+    let mut mat = KMeans::new(config);
+    let assign_mat = mat.fit(&ft.materialize()).expect("materialized clusters");
+    assert_eq!(assign_fact, assign_mat);
+    assert!((fact.inertia() - mat.inertia()).abs() <= 1e-6 * mat.inertia().max(1.0));
+    assert!(fact
+        .centroids()
+        .expect("fitted")
+        .approx_eq(mat.centroids().expect("fitted"), 1e-8));
+}
+
+#[test]
+fn gnmf_identical_factorized_and_materialized() {
+    // GNMF needs a non-negative target: shift the generator output.
+    let spec = TwoSourceSpec {
+        rows_s1: 60,
+        cols_s1: 2,
+        rows_s2: 15,
+        cols_s2: 6,
+        shared_cols: 0,
+        target_redundancy: true,
+        row_coverage: 1.0,
+        source_redundancy: false,
+        seed: 5,
+    };
+    let (md, mut data) = amalur::data::generate_two_source(&spec).expect("valid spec");
+    for d in &mut data {
+        d.map_inplace(|v| v.abs());
+    }
+    let ft = FactorizedTable::new(md, data).expect("consistent");
+    let config = GnmfConfig {
+        rank: 2,
+        iters: 60,
+        seed: 11,
+    };
+    let mut fact = Gnmf::new(config.clone());
+    fact.fit(&ft).expect("factorized factorizes");
+    let mut mat = Gnmf::new(config);
+    mat.fit(&ft.materialize()).expect("materialized factorizes");
+    assert!(fact.w().expect("fitted").approx_eq(mat.w().expect("fitted"), 1e-6));
+    assert!(fact.h().expect("fitted").approx_eq(mat.h().expect("fitted"), 1e-6));
+    for (a, b) in fact.loss_history().iter().zip(mat.loss_history()) {
+        assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+    }
+}
+
+#[test]
+fn models_work_across_all_four_redundancy_quadrants() {
+    // The Table III grid: {source redundancy} × {target redundancy}.
+    for (source_red, target_red) in
+        [(false, false), (false, true), (true, false), (true, true)]
+    {
+        let spec = TwoSourceSpec {
+            rows_s1: 150,
+            cols_s1: 2,
+            rows_s2: 50,
+            cols_s2: 10,
+            shared_cols: 0,
+            target_redundancy: target_red,
+            row_coverage: 1.0,
+            source_redundancy: source_red,
+            seed: 77,
+        };
+        let (md, data) = amalur::data::generate_two_source(&spec).expect("valid spec");
+        let ft = FactorizedTable::new(md, data).expect("consistent");
+        let y = planted_labels(&ft, false);
+        let config = LinRegConfig {
+            epochs: 30,
+            learning_rate: 0.01,
+            l2: 0.0,
+            tolerance: 0.0,
+        };
+        let mut fact = LinearRegression::new(config.clone());
+        fact.fit(&ft, &y).expect("factorized trains");
+        let mut mat = LinearRegression::new(config);
+        mat.fit(&ft.materialize(), &y).expect("materialized trains");
+        assert!(
+            fact.coefficients()
+                .expect("fitted")
+                .approx_eq(mat.coefficients().expect("fitted"), 1e-9),
+            "quadrant source_red={source_red} target_red={target_red}"
+        );
+    }
+}
