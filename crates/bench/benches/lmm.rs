@@ -21,39 +21,35 @@ fn bench_lmm(c: &mut Criterion) {
     group.sample_size(10);
     for &rows in &[20_000usize] {
         for &target_redundancy in &[true, false] {
-            let label = if target_redundancy { "fanout5" } else { "inner1to1" };
+            let label = if target_redundancy {
+                "fanout5"
+            } else {
+                "inner1to1"
+            };
             let ft = footnote3_table(rows, target_redundancy, false, 7);
             let (_, cols) = ft.target_shape();
             let x = DenseMatrix::filled(cols, 1, 0.5);
             let t = ft.materialize();
 
-            group.bench_with_input(
-                BenchmarkId::new("materialized", label),
-                &rows,
-                |b, _| b.iter(|| black_box(t.matmul(&x).expect("shapes"))),
-            );
+            group.bench_with_input(BenchmarkId::new("materialized", label), &rows, |b, _| {
+                b.iter(|| black_box(t.matmul(&x).expect("shapes")))
+            });
             group.bench_with_input(
                 BenchmarkId::new("factorized-compressed", label),
                 &rows,
-                |b, _| {
-                    b.iter(|| black_box(ft.lmm(&x, Strategy::Compressed).expect("shapes")))
-                },
+                |b, _| b.iter(|| black_box(ft.lmm(&x, Strategy::Compressed).expect("shapes"))),
             );
             group.bench_with_input(
                 BenchmarkId::new("factorized-sparse", label),
                 &rows,
                 |b, _| b.iter(|| black_box(ft.lmm(&x, Strategy::Sparse).expect("shapes"))),
             );
-            group.bench_with_input(
-                BenchmarkId::new("materialize+mul", label),
-                &rows,
-                |b, _| {
-                    b.iter(|| {
-                        let t = ft.materialize();
-                        black_box(t.matmul(&x).expect("shapes"))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("materialize+mul", label), &rows, |b, _| {
+                b.iter(|| {
+                    let t = ft.materialize();
+                    black_box(t.matmul(&x).expect("shapes"))
+                })
+            });
         }
     }
     group.finish();

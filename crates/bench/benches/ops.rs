@@ -24,8 +24,12 @@ fn bench_operators(c: &mut Criterion) {
     });
     group.bench_function("gram/factorized", |b| b.iter(|| black_box(ft.gram())));
     group.bench_function("gram/materialized", |b| b.iter(|| black_box(t.gram())));
-    group.bench_function("col_sums/factorized", |b| b.iter(|| black_box(ft.col_sums())));
-    group.bench_function("col_sums/materialized", |b| b.iter(|| black_box(t.col_sums())));
+    group.bench_function("col_sums/factorized", |b| {
+        b.iter(|| black_box(ft.col_sums()))
+    });
+    group.bench_function("col_sums/materialized", |b| {
+        b.iter(|| black_box(t.col_sums()))
+    });
     group.bench_function("materialize", |b| b.iter(|| black_box(ft.materialize())));
     let _ = cols;
     group.finish();

@@ -5,7 +5,9 @@
 use amalur_bench::footnote3_table;
 use amalur_factorize::LinOps;
 use amalur_matrix::DenseMatrix;
-use amalur_ml::{KMeans, KMeansConfig, LinRegConfig, LinearRegression, LogRegConfig, LogisticRegression};
+use amalur_ml::{
+    KMeans, KMeansConfig, LinRegConfig, LinearRegression, LogRegConfig, LogisticRegression,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -55,7 +55,10 @@ fn main() {
     println!("\n(c) redundancy matrix and LMM rewrite");
     show("R_S2", &md.sources[1].redundancy.to_dense());
     show("T1 = I1·D1·M1ᵀ", &ft.intermediate(0).expect("in range"));
-    show("T2 = I2·D2·M2ᵀ  (note Jane's duplicated m, a)", &ft.intermediate(1).expect("in range"));
+    show(
+        "T2 = I2·D2·M2ᵀ  (note Jane's duplicated m, a)",
+        &ft.intermediate(1).expect("in range"),
+    );
     show("T  = T1 + T2∘R2  (Figure 2d)", &ft.materialize());
 
     let x = DenseMatrix::from_rows(&[
@@ -78,5 +81,8 @@ fn main() {
         .lmm(&x, Strategy::Compressed)
         .expect("shapes agree")
         .approx_eq(&ft.materialize().matmul(&x).expect("shapes agree"), 1e-9);
-    println!("\nEq. 2 rewrite matches materialized product: {}", if equal { "✓" } else { "✗" });
+    println!(
+        "\nEq. 2 rewrite matches materialized product: {}",
+        if equal { "✓" } else { "✗" }
+    );
 }

@@ -1,0 +1,159 @@
+//! Machine-readable kernel performance snapshot.
+//!
+//! Writes `BENCH_kernels.json` (in the current directory — run from the
+//! workspace root) with median ns/op for the kernels every experiment
+//! in the reproduction bottoms out in: dense matmul (packed kernel vs.
+//! a naive triple loop), Gram, the LMM rewrite across strategies, and
+//! one linear-regression GD epoch over the factorized footnote-3 table,
+//! plus the steady-state allocation count of the workspace-backed
+//! training loop. Run with `--release`; the perf trajectory is tracked
+//! across PRs by committing the refreshed JSON.
+
+use amalur_bench::footnote3_table;
+use amalur_factorize::Strategy;
+use amalur_matrix::{kernel_blocking, kernel_threads, DenseMatrix, Workspace};
+use amalur_ml::{LinRegConfig, LinearRegression};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median ns/op over `reps` timed runs of `f` (after one warm-up run).
+fn measure<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Naive triple-loop reference GEMM (the baseline the packed kernel is
+/// required to beat by ≥ 2× at 512³).
+fn matmul_naive(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += a.get(i, l) * b.get(l, j);
+            }
+            out.set(i, j, s);
+        }
+    }
+    out
+}
+
+fn json_entry(out: &mut String, name: &str, ns: f64) {
+    out.push_str(&format!("    \"{name}\": {:.1},\n", ns));
+}
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!("warning: perf_snapshot built without --release; numbers are meaningless");
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
+
+    // --- dense kernels at 512×512×512 -----------------------------------
+    let size = 512;
+    let a = DenseMatrix::random_uniform(size, size, -1.0, 1.0, &mut rng);
+    let b = DenseMatrix::random_uniform(size, size, -1.0, 1.0, &mut rng);
+    let matmul_packed_ns = measure(5, || a.matmul(&b).expect("square shapes"));
+    let matmul_naive_ns = measure(3, || matmul_naive(&a, &b));
+    let gram_ns = measure(5, || a.gram());
+    let speedup = matmul_naive_ns / matmul_packed_ns;
+    let gflops = 2.0 * (size as f64).powi(3) / matmul_packed_ns;
+    println!(
+        "matmul {size}³: packed {:.2} ms ({gflops:.2} GFLOP/s), naive {:.2} ms — {speedup:.1}×",
+        matmul_packed_ns / 1e6,
+        matmul_naive_ns / 1e6,
+    );
+
+    // --- factorized operators (footnote-3 workload) ----------------------
+    let ft = footnote3_table(20_000, true, false, 7);
+    let (rows, cols) = ft.target_shape();
+    let x = DenseMatrix::filled(cols, 1, 0.5);
+    let lmm_compressed_ns = measure(7, || ft.lmm(&x, Strategy::Compressed).expect("shapes"));
+    let lmm_sparse_ns = measure(7, || ft.lmm(&x, Strategy::Sparse).expect("shapes"));
+    // Morpheus rule (1) needs disjoint sources: the inner-1:1 config.
+    let ft_disjoint = footnote3_table(20_000, false, false, 7);
+    let x_disjoint = DenseMatrix::filled(ft_disjoint.target_shape().1, 1, 0.5);
+    let lmm_morpheus_ns = measure(7, || {
+        ft_disjoint
+            .lmm(&x_disjoint, Strategy::Morpheus)
+            .expect("disjoint config satisfies rule (1)")
+    });
+    let fact_gram_ns = measure(3, || ft.gram());
+    println!(
+        "lmm {rows}×{cols}: compressed {:.2} ms, sparse {:.2} ms, morpheus {:.2} ms",
+        lmm_compressed_ns / 1e6,
+        lmm_sparse_ns / 1e6,
+        lmm_morpheus_ns / 1e6,
+    );
+
+    // --- linreg GD epoch over the factorized table -----------------------
+    let y = DenseMatrix::filled(rows, 1, 1.0);
+    let epochs = 10;
+    let mut ws = Workspace::new();
+    // Warm the pool, then count steady-state allocations across a
+    // second full fit (must be zero: the zero-allocation pipeline).
+    let mut model = LinearRegression::new(LinRegConfig {
+        epochs,
+        learning_rate: 1e-4,
+        ..LinRegConfig::default()
+    });
+    model.fit_with_workspace(&ft, &y, &mut ws).expect("trains");
+    let warm_allocs = ws.fresh_allocations();
+    model.fit_with_workspace(&ft, &y, &mut ws).expect("trains");
+    let steady_state_allocs = ws.fresh_allocations() - warm_allocs;
+    let linreg_epoch_ns = measure(5, || {
+        model.fit_with_workspace(&ft, &y, &mut ws).expect("trains")
+    }) / epochs as f64;
+    println!(
+        "linreg GD epoch ({rows}×{cols} factorized): {:.2} ms, steady-state allocs {steady_state_allocs}",
+        linreg_epoch_ns / 1e6,
+    );
+
+    // --- emit JSON --------------------------------------------------------
+    let (mr, nr, mc, kc, nc) = kernel_blocking();
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"amalur-bench-kernels/v1\",\n");
+    json.push_str("  \"unit\": \"ns_per_op\",\n");
+    json.push_str(&format!(
+        "  \"kernel\": {{ \"MR\": {mr}, \"NR\": {nr}, \"MC\": {mc}, \"KC\": {kc}, \"NC\": {nc}, \"threads\": {} }},\n",
+        kernel_threads()
+    ));
+    json.push_str("  \"benchmarks\": {\n");
+    json_entry(&mut json, "matmul_512_packed", matmul_packed_ns);
+    json_entry(&mut json, "matmul_512_naive", matmul_naive_ns);
+    json_entry(&mut json, "gram_512", gram_ns);
+    json_entry(&mut json, "lmm_compressed", lmm_compressed_ns);
+    json_entry(&mut json, "lmm_sparse", lmm_sparse_ns);
+    json_entry(&mut json, "lmm_morpheus", lmm_morpheus_ns);
+    json_entry(&mut json, "gram_factorized", fact_gram_ns);
+    json_entry(&mut json, "linreg_gd_epoch_factorized", linreg_epoch_ns);
+    json.push_str(&format!(
+        "    \"matmul_512_speedup_vs_naive\": {speedup:.2}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"linreg_steady_state_fresh_allocations\": {steady_state_allocs}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("writable working directory");
+    println!("wrote BENCH_kernels.json");
+
+    assert!(
+        speedup >= 2.0,
+        "acceptance: packed kernel must be ≥ 2× the naive triple loop (got {speedup:.2}×)"
+    );
+    assert_eq!(
+        steady_state_allocs, 0,
+        "acceptance: steady-state linreg epochs must not allocate"
+    );
+}

@@ -59,7 +59,9 @@ fn main() {
         let start = Instant::now();
         for _ in 0..epochs {
             let _ = ft.lmm(&theta, Strategy::Compressed).expect("shapes");
-            let _ = ft.lmm_transpose(&resid, Strategy::Compressed).expect("shapes");
+            let _ = ft
+                .lmm_transpose(&resid, Strategy::Compressed)
+                .expect("shapes");
         }
         let fact_epoch = start.elapsed() / epochs as u32;
 

@@ -78,7 +78,8 @@ fn main() {
     // Shape assertions (the reproduction criteria of DESIGN.md §3).
     let target_yes: Vec<_> = results.iter().filter(|q| q.target_redundancy).collect();
     let target_no: Vec<_> = results.iter().filter(|q| !q.target_redundancy).collect();
-    let avg = |qs: &[&amalur_bench::QuadrantResult], f: fn(&amalur_bench::QuadrantResult) -> f64| {
+    let avg = |qs: &[&amalur_bench::QuadrantResult],
+               f: fn(&amalur_bench::QuadrantResult) -> f64| {
         qs.iter().map(|q| f(q)).sum::<f64>() / qs.len() as f64
     };
     let amalur_no = avg(&target_no, |q| q.amalur_correct);

@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn quadrant_runner_scores_models() {
-        let workload = TrainingWorkload { epochs: 4, x_cols: 1 };
+        let workload = TrainingWorkload {
+            epochs: 4,
+            x_cols: 1,
+        };
         let q = run_quadrant(&[100, 1000], true, false, &workload);
         assert_eq!(q.scenarios.len(), 2);
         assert!((0.0..=1.0).contains(&q.morpheus_correct));
@@ -171,7 +174,10 @@ mod tests {
 
     #[test]
     fn figure5_sweep_covers_grid() {
-        let workload = TrainingWorkload { epochs: 2, x_cols: 1 };
+        let workload = TrainingWorkload {
+            epochs: 2,
+            x_cols: 1,
+        };
         let grid = figure5_sweep(500, &[1, 8], &[1, 8], &workload);
         assert_eq!(grid.len(), 4);
         assert!(grid.iter().all(|g| g.speedup > 0.0));

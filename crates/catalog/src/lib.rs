@@ -17,8 +17,6 @@ mod entries;
 mod error;
 mod store;
 
-pub use entries::{
-    DiEntry, FieldMeta, ModelEntry, SourceEntry,
-};
+pub use entries::{DiEntry, FieldMeta, ModelEntry, SourceEntry};
 pub use error::{CatalogError, Result};
 pub use store::MetadataCatalog;

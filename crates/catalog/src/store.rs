@@ -242,8 +242,10 @@ mod tests {
     #[test]
     fn lineage_queries() {
         let c = MetadataCatalog::new();
-        c.register_model(sample_model("m1", "hospital-join")).unwrap();
-        c.register_model(sample_model("m2", "hospital-join")).unwrap();
+        c.register_model(sample_model("m1", "hospital-join"))
+            .unwrap();
+        c.register_model(sample_model("m2", "hospital-join"))
+            .unwrap();
         c.register_model(sample_model("m3", "other")).unwrap();
         let mut models = c.models_trained_on("hospital-join");
         models.sort();

@@ -71,9 +71,10 @@ mod tests {
     fn conversions_and_display() {
         let e: AmalurError = amalur_ml::MlError::NotFitted.into();
         assert!(e.to_string().contains("ml"));
-        let e: AmalurError =
-            amalur_relational::RelationalError::UnknownColumn("c".into()).into();
+        let e: AmalurError = amalur_relational::RelationalError::UnknownColumn("c".into()).into();
         assert!(matches!(e, AmalurError::Relational(_)));
-        assert!(AmalurError::UnknownSilo("s".into()).to_string().contains("s"));
+        assert!(AmalurError::UnknownSilo("s".into())
+            .to_string()
+            .contains("s"));
     }
 }

@@ -3,16 +3,12 @@
 
 use crate::{AmalurError, Result};
 use amalur_catalog::{DiEntry, MetadataCatalog, ModelEntry, SourceEntry};
-use amalur_cost::{
-    AmalurCostModel, CostFeatures, CostModel, Decision, TrainingWorkload,
-};
+use amalur_cost::{AmalurCostModel, CostFeatures, CostModel, Decision, TrainingWorkload};
 use amalur_factorize::FactorizedTable;
 use amalur_federated::{party_views, train_vfl, PrivacyMode, VflConfig};
 use amalur_integration::{integrate_pair, IntegrationOptions, ScenarioKind};
 use amalur_matrix::DenseMatrix;
-use amalur_ml::{
-    LinRegConfig, LinearRegression, LogRegConfig, LogisticRegression,
-};
+use amalur_ml::{LinRegConfig, LinearRegression, LogRegConfig, LogisticRegression};
 use amalur_relational::Table;
 use std::collections::BTreeMap;
 
@@ -202,8 +198,7 @@ impl Amalur {
             .map(|s| self.silo(s).cloned())
             .collect::<Result<_>>()?;
         let sat_refs: Vec<&Table> = sat_tables.iter().collect();
-        let result =
-            amalur_integration::integrate_star(&base_table, &sat_refs, kind, opts)?;
+        let result = amalur_integration::integrate_star(&base_table, &sat_refs, kind, opts)?;
         let scenario = result.kind;
         self.integration_counter += 1;
         let id = format!("integration-{}", self.integration_counter);
@@ -232,7 +227,9 @@ impl Amalur {
     ) -> ExecutionPlan {
         if constraints.privacy_required {
             return ExecutionPlan::Federated(
-                constraints.privacy_mode.unwrap_or(PrivacyMode::SecretShared),
+                constraints
+                    .privacy_mode
+                    .unwrap_or(PrivacyMode::SecretShared),
             );
         }
         let features = CostFeatures::from_table(&handle.table);
@@ -263,10 +260,7 @@ impl Amalur {
                 let mut model = LinearRegression::new(self.linreg_config(config));
                 model.fit(&features, &y)?;
                 (
-                    model
-                        .coefficients()
-                        .expect("fitted above")
-                        .clone(),
+                    model.coefficients().expect("fitted above").clone(),
                     model.loss_history().last().copied().unwrap_or(f64::NAN),
                 )
             }
@@ -275,17 +269,13 @@ impl Amalur {
                 let mut model = LinearRegression::new(self.linreg_config(config));
                 model.fit(&t, &y)?;
                 (
-                    model
-                        .coefficients()
-                        .expect("fitted above")
-                        .clone(),
+                    model.coefficients().expect("fitted above").clone(),
                     model.loss_history().last().copied().unwrap_or(f64::NAN),
                 )
             }
             ExecutionPlan::Federated(mode) => {
                 let views = party_views(&features)?;
-                let xs: Vec<DenseMatrix> =
-                    views.iter().map(|v| v.features.clone()).collect();
+                let xs: Vec<DenseMatrix> = views.iter().map(|v| v.features.clone()).collect();
                 let result = train_vfl(
                     &xs,
                     &y,
@@ -299,7 +289,9 @@ impl Amalur {
                 )?;
                 let mut stacked = result.coefficients[0].clone();
                 for c in &result.coefficients[1..] {
-                    stacked = stacked.vstack(c).map_err(amalur_factorize::FactorizeError::from)?;
+                    stacked = stacked
+                        .vstack(c)
+                        .map_err(amalur_factorize::FactorizeError::from)?;
                 }
                 (
                     stacked,
@@ -309,13 +301,8 @@ impl Amalur {
         };
         let mut metrics = BTreeMap::new();
         metrics.insert("final_loss".to_owned(), final_loss);
-        let name = self.register_trained(
-            "linear_regression",
-            handle,
-            config,
-            plan,
-            metrics.clone(),
-        )?;
+        let name =
+            self.register_trained("linear_regression", handle, config, plan, metrics.clone())?;
         Ok(TrainedModel {
             name,
             coefficients,
@@ -380,13 +367,8 @@ impl Amalur {
         let mut metrics = BTreeMap::new();
         metrics.insert("final_loss".to_owned(), final_loss);
         metrics.insert("train_accuracy".to_owned(), accuracy);
-        let name = self.register_trained(
-            "logistic_regression",
-            handle,
-            config,
-            plan,
-            metrics.clone(),
-        )?;
+        let name =
+            self.register_trained("logistic_regression", handle, config, plan, metrics.clone())?;
         Ok(TrainedModel {
             name,
             coefficients,

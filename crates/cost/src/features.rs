@@ -204,11 +204,8 @@ mod tests {
         let mut md = pkfk();
         // Make the dim indicator 1:1 over 2 of 6 target rows.
         md.sources[1] = SourceMetadata {
-            indicator: IndicatorMatrix::new(
-                vec![0, 1, NO_MATCH, NO_MATCH, NO_MATCH, NO_MATCH],
-                2,
-            )
-            .unwrap(),
+            indicator: IndicatorMatrix::new(vec![0, 1, NO_MATCH, NO_MATCH, NO_MATCH, NO_MATCH], 2)
+                .unwrap(),
             ..md.sources[1].clone()
         };
         let f = CostFeatures::from_metadata(&md);

@@ -32,7 +32,10 @@ pub struct TrainingWorkload {
 
 impl Default for TrainingWorkload {
     fn default() -> Self {
-        Self { epochs: 20, x_cols: 1 }
+        Self {
+            epochs: 20,
+            x_cols: 1,
+        }
     }
 }
 
@@ -155,8 +158,7 @@ impl AmalurCostModel {
     /// Estimated cost of materialization plus training on `T`.
     pub fn materialized_cost(&self, f: &CostFeatures, w: &TrainingWorkload) -> f64 {
         let n = w.x_cols as f64;
-        let assembly =
-            self.assembly_weight * (f.target_cells() as f64 + f.source_cells() as f64);
+        let assembly = self.assembly_weight * (f.target_cells() as f64 + f.source_cells() as f64);
         let per_epoch = 2.0 * f.target_cells() as f64 * n;
         assembly + 2.0 * w.epochs as f64 * per_epoch
     }
@@ -168,9 +170,7 @@ impl CostModel for AmalurCostModel {
     }
 
     fn decide(&self, features: &CostFeatures, workload: &TrainingWorkload) -> Decision {
-        if self.factorized_cost(features, workload)
-            < self.materialized_cost(features, workload)
-        {
+        if self.factorized_cost(features, workload) < self.materialized_cost(features, workload) {
             Decision::Factorize
         } else {
             Decision::Materialize
@@ -264,8 +264,14 @@ mod tests {
     fn amalur_cost_components_scale_with_epochs() {
         let a = AmalurCostModel::default();
         let f = features(10_000, true);
-        let short = TrainingWorkload { epochs: 1, x_cols: 1 };
-        let long = TrainingWorkload { epochs: 100, x_cols: 1 };
+        let short = TrainingWorkload {
+            epochs: 1,
+            x_cols: 1,
+        };
+        let long = TrainingWorkload {
+            epochs: 100,
+            x_cols: 1,
+        };
         assert!(a.factorized_cost(&f, &long) > a.factorized_cost(&f, &short) * 50.0);
         // Assembly is paid once: the materialized cost grows less than
         // linearly in epochs.

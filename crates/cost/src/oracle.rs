@@ -100,7 +100,13 @@ mod tests {
     #[test]
     fn measurement_produces_positive_times() {
         let ft = table(2000, true);
-        let m = measure_strategies(&ft, &TrainingWorkload { epochs: 3, x_cols: 1 });
+        let m = measure_strategies(
+            &ft,
+            &TrainingWorkload {
+                epochs: 3,
+                x_cols: 1,
+            },
+        );
         assert!(m.factorized > Duration::ZERO);
         assert!(m.materialized > Duration::ZERO);
         assert!(m.speedup() > 0.0);
@@ -127,7 +133,18 @@ mod tests {
         // training touches ~5× fewer cells; at 50k rows the measured
         // advantage is stable even on a noisy machine.
         let ft = table(50_000, true);
-        let m = measure_strategies(&ft, &TrainingWorkload { epochs: 10, x_cols: 1 });
-        assert_eq!(m.ground_truth(), Decision::Factorize, "speedup {}", m.speedup());
+        let m = measure_strategies(
+            &ft,
+            &TrainingWorkload {
+                epochs: 10,
+                x_cols: 1,
+            },
+        );
+        assert_eq!(
+            m.ground_truth(),
+            Decision::Factorize,
+            "speedup {}",
+            m.speedup()
+        );
     }
 }

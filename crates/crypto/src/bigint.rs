@@ -590,7 +590,10 @@ mod tests {
     #[test]
     fn subtraction() {
         assert_eq!(
-            big(1u128 << 64).checked_sub(&BigUint::one()).unwrap().to_u128(),
+            big(1u128 << 64)
+                .checked_sub(&BigUint::one())
+                .unwrap()
+                .to_u128(),
             Some((1u128 << 64) - 1)
         );
         assert!(BigUint::one().checked_sub(&big(2)).is_none());
@@ -629,25 +632,16 @@ mod tests {
         let b = big(1u128 << 70);
         let (q, r) = a.div_rem(&b).unwrap();
         assert_eq!(q.to_u128(), Some(u128::MAX >> 70));
-        assert_eq!(
-            r.to_u128(),
-            Some(u128::MAX - (u128::MAX >> 70 << 70))
-        );
+        assert_eq!(r.to_u128(), Some(u128::MAX - (u128::MAX >> 70 << 70)));
     }
 
     #[test]
     fn mod_pow_known_values() {
         // 3^7 mod 10 = 7 (2187 mod 10)
-        assert_eq!(
-            big(3).mod_pow(&big(7), &big(10)).unwrap().to_u64(),
-            Some(7)
-        );
+        assert_eq!(big(3).mod_pow(&big(7), &big(10)).unwrap().to_u64(), Some(7));
         // Fermat: 2^(p-1) ≡ 1 mod p for prime p.
         let p = big(1_000_000_007);
-        assert!(big(2)
-            .mod_pow(&big(1_000_000_006), &p)
-            .unwrap()
-            .is_one());
+        assert!(big(2).mod_pow(&big(1_000_000_006), &p).unwrap().is_one());
         assert!(big(5).mod_pow(&big(0), &big(7)).unwrap().is_one());
         assert!(big(5).mod_pow(&big(3), &BigUint::one()).unwrap().is_zero());
     }

@@ -297,7 +297,10 @@ mod tests {
         let kp = keys(128);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for v in [0u64, 1, 42, 1_000_000] {
-            let c = kp.public.encrypt_int(&BigUint::from_u64(v), &mut rng).unwrap();
+            let c = kp
+                .public
+                .encrypt_int(&BigUint::from_u64(v), &mut rng)
+                .unwrap();
             assert_eq!(kp.private.decrypt_int(&c).unwrap().to_u64(), Some(v));
         }
     }
@@ -320,8 +323,14 @@ mod tests {
     fn homomorphic_addition() {
         let kp = keys(128);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let a = kp.public.encrypt_int(&BigUint::from_u64(30), &mut rng).unwrap();
-        let b = kp.public.encrypt_int(&BigUint::from_u64(12), &mut rng).unwrap();
+        let a = kp
+            .public
+            .encrypt_int(&BigUint::from_u64(30), &mut rng)
+            .unwrap();
+        let b = kp
+            .public
+            .encrypt_int(&BigUint::from_u64(12), &mut rng)
+            .unwrap();
         let sum = kp.public.add(&a, &b).unwrap();
         assert_eq!(kp.private.decrypt_int(&sum).unwrap().to_u64(), Some(42));
     }
@@ -330,7 +339,10 @@ mod tests {
     fn homomorphic_plaintext_multiplication() {
         let kp = keys(128);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let a = kp.public.encrypt_int(&BigUint::from_u64(7), &mut rng).unwrap();
+        let a = kp
+            .public
+            .encrypt_int(&BigUint::from_u64(7), &mut rng)
+            .unwrap();
         let c = kp.public.mul_plain(&a, &BigUint::from_u64(6)).unwrap();
         assert_eq!(kp.private.decrypt_int(&c).unwrap().to_u64(), Some(42));
     }
@@ -371,8 +383,14 @@ mod tests {
         let kp1 = keys(128);
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let kp2 = KeyPair::generate(96, &mut rng).unwrap();
-        let c1 = kp1.public.encrypt_int(&BigUint::from_u64(1), &mut rng).unwrap();
-        let c2 = kp2.public.encrypt_int(&BigUint::from_u64(2), &mut rng).unwrap();
+        let c1 = kp1
+            .public
+            .encrypt_int(&BigUint::from_u64(1), &mut rng)
+            .unwrap();
+        let c2 = kp2
+            .public
+            .encrypt_int(&BigUint::from_u64(2), &mut rng)
+            .unwrap();
         assert!(matches!(
             kp1.public.add(&c1, &c2).unwrap_err(),
             CryptoError::KeyMismatch

@@ -108,7 +108,7 @@ impl FixedPoint {
 
 /// n-of-n additive secret sharing.
 pub mod additive {
-    use super::{add_mod, sub_mod, Rng, Result, CryptoError, PRIME};
+    use super::{add_mod, sub_mod, CryptoError, Result, Rng, PRIME};
 
     /// Splits `secret ∈ Z_p` into `n` shares summing to it.
     ///

@@ -44,11 +44,29 @@ pub fn s2() -> Table {
         ],
     )
     .expect("static schema")
-    .row(vec![1.into(), "Rose".into(), 45.0.into(), 95.0.into(), "1/4/21".into()])
+    .row(vec![
+        1.into(),
+        "Rose".into(),
+        45.0.into(),
+        95.0.into(),
+        "1/4/21".into(),
+    ])
     .expect("static row")
-    .row(vec![0.into(), "Castiel".into(), 20.0.into(), 97.0.into(), "3/8/22".into()])
+    .row(vec![
+        0.into(),
+        "Castiel".into(),
+        20.0.into(),
+        97.0.into(),
+        "3/8/22".into(),
+    ])
     .expect("static row")
-    .row(vec![1.into(), "Jane".into(), 37.0.into(), 92.0.into(), "11/5/21".into()])
+    .row(vec![
+        1.into(),
+        "Jane".into(),
+        37.0.into(),
+        92.0.into(),
+        "11/5/21".into(),
+    ])
     .expect("static row")
     .build()
 }

@@ -35,12 +35,16 @@ pub fn drug_risk_silos(n: usize, missing: f64, seed: u64) -> Vec<Table> {
         let creatinine: f64 = rng.gen_range(0.5..2.5);
         let alt: f64 = rng.gen_range(10.0..80.0);
         // Planted adverse-event signal spanning all silos.
-        let logit = 0.04 * (age - 60.0) + 0.35 * (dose - 6.0) + 1.2 * (creatinine - 1.4)
+        let logit = 0.04 * (age - 60.0)
+            + 0.35 * (dose - 6.0)
+            + 1.2 * (creatinine - 1.4)
             + 0.25 * (n_drugs as f64 - 4.0)
             + 0.02 * (sbp - 135.0)
             + rng.gen_range(-1.5..1.5);
         let label = i64::from(logit > 0.0);
-        patients.push((pid as i64, label, age, weight, sbp, dbp, dose, n_drugs, creatinine, alt));
+        patients.push((
+            pid as i64, label, age, weight, sbp, dbp, dose, n_drugs, creatinine, alt,
+        ));
     }
 
     let keep = |rng: &mut rand::rngs::StdRng| !rng.gen_bool(missing);
@@ -104,7 +108,12 @@ pub fn drug_risk_silos(n: usize, missing: f64, seed: u64) -> Vec<Table> {
                 .expect("generated row");
         }
     }
-    vec![clinic.build(), hospital.build(), pharmacy.build(), lab.build()]
+    vec![
+        clinic.build(),
+        hospital.build(),
+        pharmacy.build(),
+        lab.build(),
+    ]
 }
 
 /// Generates `n_phones` horizontally-partitioned silos for keyboard
@@ -138,7 +147,9 @@ pub fn keyboard_silos(n_phones: usize, rows_per_phone: usize, seed: u64) -> Vec<
             let x: f64 = rng.gen_range(0.0..1.0);
             let y: f64 = rng.gen_range(0.0..1.0);
             // Shared ground-truth model across phones.
-            let next = 0.6 * flight + 0.3 * dwell - 40.0 * pressure + 15.0 * x + 5.0 * y
+            let next = 0.6 * flight + 0.3 * dwell - 40.0 * pressure
+                + 15.0 * x
+                + 5.0 * y
                 + rng.gen_range(-10.0..10.0);
             t = t
                 .row(vec![

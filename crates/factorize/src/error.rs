@@ -32,7 +32,11 @@ impl fmt::Display for FactorizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FactorizeError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
-            FactorizeError::OperandMismatch { op, expected, found } => write!(
+            FactorizeError::OperandMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
                 f,
                 "operand mismatch in {op}: expected {}x{}, found {}x{}",
                 expected.0, expected.1, found.0, found.1

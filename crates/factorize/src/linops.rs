@@ -8,7 +8,7 @@
 
 use crate::table::FactorizedTable;
 use crate::{Result, Strategy};
-use amalur_matrix::DenseMatrix;
+use amalur_matrix::{DenseMatrix, Workspace};
 
 /// A design matrix that supports the operators ML training needs.
 pub trait LinOps {
@@ -29,6 +29,28 @@ pub trait LinOps {
     /// # Errors
     /// Shape mismatch.
     fn t_mul(&self, x: &DenseMatrix) -> Result<DenseMatrix>;
+
+    /// [`Self::mul_right`] written into the caller-owned `out`
+    /// (`n_rows × k`, fully overwritten), drawing any per-source scratch
+    /// from `ws`. The allocation-free variant gradient-descent loops
+    /// call every epoch (see the `amalur-matrix` crate docs for the
+    /// `Workspace`/`_into` conventions).
+    ///
+    /// # Errors
+    /// Shape mismatch of `x` or `out`.
+    fn mul_right_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()>;
+
+    /// [`Self::t_mul`] written into the caller-owned `out`
+    /// (`n_cols × k`, fully overwritten), drawing scratch from `ws`.
+    ///
+    /// # Errors
+    /// Shape mismatch of `x` or `out`.
+    fn t_mul_into(&self, x: &DenseMatrix, out: &mut DenseMatrix, ws: &mut Workspace) -> Result<()>;
 
     /// Gram matrix `TᵀT` (`n_cols × n_cols`) — the normal-equations
     /// operator for closed-form solvers.
@@ -57,6 +79,24 @@ impl LinOps for DenseMatrix {
 
     fn t_mul(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
         Ok(self.transpose_matmul(x)?)
+    }
+
+    fn mul_right_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        _ws: &mut Workspace,
+    ) -> Result<()> {
+        Ok(self.matmul_into(x, out)?)
+    }
+
+    fn t_mul_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        _ws: &mut Workspace,
+    ) -> Result<()> {
+        Ok(self.transpose_matmul_into(x, out)?)
     }
 
     fn gram_matrix(&self) -> DenseMatrix {
@@ -89,6 +129,19 @@ impl LinOps for FactorizedTable {
 
     fn t_mul(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
         self.lmm_transpose(x, Strategy::Compressed)
+    }
+
+    fn mul_right_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        self.lmm_into(x, out, ws)
+    }
+
+    fn t_mul_into(&self, x: &DenseMatrix, out: &mut DenseMatrix, ws: &mut Workspace) -> Result<()> {
+        self.lmm_transpose_into(x, out, ws)
     }
 
     fn gram_matrix(&self) -> DenseMatrix {
@@ -127,8 +180,7 @@ mod tests {
     fn generic_code_agrees_across_backends() {
         let ft = running_example();
         let t = figure2d_target();
-        let theta = DenseMatrix::from_rows(&[vec![0.1], vec![0.2], vec![-0.3], vec![0.4]])
-            .unwrap();
+        let theta = DenseMatrix::from_rows(&[vec![0.1], vec![0.2], vec![-0.3], vec![0.4]]).unwrap();
         let via_fact = predict(&ft, &theta);
         let via_mat = predict(&t, &theta);
         assert!(via_fact.approx_eq(&via_mat, 1e-9));

@@ -16,7 +16,7 @@
 
 use crate::table::FactorizedTable;
 use crate::{FactorizeError, Result};
-use amalur_matrix::{DenseMatrix, NO_MATCH};
+use amalur_matrix::{par_row_chunks, DenseMatrix, Workspace, NO_MATCH};
 
 /// Execution strategy for the factorized operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,6 +69,67 @@ impl FactorizedTable {
         }
     }
 
+    /// Compressed-strategy `T · X` written into the caller-owned `out`
+    /// (`r_T × n`, fully overwritten), drawing all per-source
+    /// intermediates from `ws` — the allocation-free hot-loop entry
+    /// point (see the `amalur-matrix` crate docs for the conventions).
+    ///
+    /// # Errors
+    /// Shape errors as in [`Self::lmm`].
+    pub fn lmm_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        let (rows, cols) = self.target_shape();
+        if x.rows() != cols {
+            return Err(FactorizeError::OperandMismatch {
+                op: "lmm",
+                expected: (cols, x.cols()),
+                found: x.shape(),
+            });
+        }
+        if out.shape() != (rows, x.cols()) {
+            return Err(FactorizeError::OperandMismatch {
+                op: "lmm_into",
+                expected: (rows, x.cols()),
+                found: out.shape(),
+            });
+        }
+        self.lmm_compressed_into(x, out, ws)
+    }
+
+    /// Compressed-strategy `Tᵀ · X` written into the caller-owned `out`
+    /// (`c_T × n`, fully overwritten), drawing all per-source
+    /// intermediates from `ws`.
+    ///
+    /// # Errors
+    /// Shape errors as in [`Self::lmm_transpose`].
+    pub fn lmm_transpose_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        let (rows, cols) = self.target_shape();
+        if x.rows() != rows {
+            return Err(FactorizeError::OperandMismatch {
+                op: "lmm_transpose",
+                expected: (rows, x.cols()),
+                found: x.shape(),
+            });
+        }
+        if out.shape() != (cols, x.cols()) {
+            return Err(FactorizeError::OperandMismatch {
+                op: "lmm_transpose_into",
+                expected: (cols, x.cols()),
+                found: out.shape(),
+            });
+        }
+        self.lmm_t_compressed_into(x, out, ws)
+    }
+
     /// Transposed multiplication `Tᵀ · X` where `X` is `r_T × n`.
     ///
     /// This is the gradient-side operator of every GD-trained model
@@ -112,12 +173,18 @@ impl FactorizedTable {
         Ok(self.lmm_transpose(&x.transpose(), strategy)?.transpose())
     }
 
-    /// Gram matrix `TᵀT`, streamed row-by-row so only `O(c_T²)` extra
-    /// memory is used (never the materialized `T`).
+    /// Gram matrix `TᵀT`, streamed in row *blocks* so only
+    /// `O(c_T² + B·c_T)` extra memory is used (never the materialized
+    /// `T`). Both phases parallelize: the rows of each block are
+    /// reconstructed from the sources over disjoint row chunks, and the
+    /// rank-`B` update `G += blockᵀ·block` runs over disjoint chunks of
+    /// `G`'s rows.
     pub fn gram(&self) -> DenseMatrix {
+        /// Target rows reconstructed per streamed block.
+        const BLOCK: usize = 128;
         let (rows, cols) = self.target_shape();
         let mut g = DenseMatrix::zeros(cols, cols);
-        let mut row_buf = vec![0.0; cols];
+        let mut block = vec![0.0; BLOCK.min(rows.max(1)) * cols];
         // Pre-extract per-source iteration state.
         let per_source: Vec<_> = self
             .metadata()
@@ -133,36 +200,56 @@ impl FactorizedTable {
                 )
             })
             .collect();
-        for i in 0..rows {
-            row_buf.iter_mut().for_each(|v| *v = 0.0);
-            for (ci, cm, zeros, d) in &per_source {
-                let src_row = ci[i];
-                if src_row == NO_MATCH {
-                    continue;
-                }
-                let zero_cols: &[usize] = zeros
-                    .binary_search_by_key(&i, |(r, _)| *r)
-                    .map(|p| zeros[p].1.as_slice())
-                    .unwrap_or(&[]);
-                let d_row = d.row(src_row as usize);
-                for (t, &src_col) in cm.iter().enumerate() {
-                    if src_col == NO_MATCH || zero_cols.binary_search(&t).is_ok() {
-                        continue;
+        for block_start in (0..rows).step_by(BLOCK) {
+            let bh = BLOCK.min(rows - block_start);
+            let block_buf = &mut block[..bh * cols];
+            // Phase 1: reconstruct target rows [block_start, block_start+bh).
+            let sources = &per_source;
+            par_row_chunks(block_buf, cols, bh.saturating_mul(cols) * 4, |r0, chunk| {
+                chunk.fill(0.0);
+                for (r, row_buf) in chunk.chunks_exact_mut(cols).enumerate() {
+                    let i = block_start + r0 + r;
+                    for (ci, cm, zeros, d) in sources {
+                        let src_row = ci[i];
+                        if src_row == NO_MATCH {
+                            continue;
+                        }
+                        let zero_cols: &[usize] = zeros
+                            .binary_search_by_key(&i, |(r, _)| *r)
+                            .map(|p| zeros[p].1.as_slice())
+                            .unwrap_or(&[]);
+                        let d_row = d.row(src_row as usize);
+                        for (t, &src_col) in cm.iter().enumerate() {
+                            if src_col == NO_MATCH || zero_cols.binary_search(&t).is_ok() {
+                                continue;
+                            }
+                            row_buf[t] += d_row[src_col as usize];
+                        }
                     }
-                    row_buf[t] += d_row[src_col as usize];
                 }
-            }
-            // Rank-1 update G += row·rowᵀ (upper triangle).
-            for a in 0..cols {
-                let va = row_buf[a];
-                if va == 0.0 {
-                    continue;
-                }
-                let g_row = g.row_mut(a);
-                for b in a..cols {
-                    g_row[b] += va * row_buf[b];
-                }
-            }
+            });
+            // Phase 2: rank-bh update of G's upper triangle.
+            let block_ref = &block[..bh * cols];
+            par_row_chunks(
+                g.as_mut_slice(),
+                cols.max(1),
+                bh.saturating_mul(cols).saturating_mul(cols) / 2,
+                |a0, chunk| {
+                    let cols_here = chunk.len() / cols.max(1);
+                    for row in block_ref.chunks_exact(cols) {
+                        for a in a0..a0 + cols_here {
+                            let va = row[a];
+                            if va == 0.0 {
+                                continue;
+                            }
+                            let g_row = &mut chunk[(a - a0) * cols + a..(a - a0 + 1) * cols];
+                            for (gv, &rb) in g_row.iter_mut().zip(&row[a..]) {
+                                *gv += va * rb;
+                            }
+                        }
+                    }
+                },
+            );
         }
         // Mirror to the lower triangle.
         for a in 0..cols {
@@ -234,111 +321,156 @@ impl FactorizedTable {
     // --- Compressed strategy ---------------------------------------------
 
     fn lmm_compressed(&self, x: &DenseMatrix, rows: usize) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(rows, x.cols());
+        let mut ws = Workspace::new();
+        self.lmm_compressed_into(x, &mut out, &mut ws)?;
+        Ok(out)
+    }
+
+    fn lmm_compressed_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
         let n = x.cols();
-        let mut out = DenseMatrix::zeros(rows, n);
+        let rows = out.rows();
+        out.as_mut_slice().fill(0.0);
         for (s, d) in self.metadata().sources.iter().zip(self.source_data()) {
             // Mₖᵀ X: scatter X's target-column rows into source-column rows.
-            let xk = x.scatter_rows_add(s.mapping.compressed(), s.mapping.source_cols())?;
+            let mut xk = ws.take_matrix(s.mapping.source_cols(), n);
+            x.scatter_rows_add_into(s.mapping.compressed(), &mut xk)?;
             // Dₖ (Mₖᵀ X)
-            let local = d.matmul(&xk)?;
-            // Iₖ (...): gather into target rows, accumulating into out.
+            let mut local = ws.take_matrix(d.rows(), n);
+            d.matmul_into(&xk, &mut local)?;
+            // Iₖ (...) with redundancy correction, accumulated into `out`
+            // in parallel over disjoint target-row chunks: each chunk
+            // gathers its rows of `local` and subtracts the redundant
+            // cells recorded for rows in its range.
             let ci = s.indicator.compressed();
-            if n == 1 {
-                // Column fast path: direct indexed accumulation.
-                let src = local.as_slice();
-                let dst = out.as_mut_slice();
-                for (o, &src_row) in dst.iter_mut().zip(ci) {
-                    if src_row != NO_MATCH {
-                        *o += src[src_row as usize];
-                    }
-                }
-            } else {
-                for (i, &src_row) in ci.iter().enumerate() {
+            let cm = s.mapping.compressed();
+            let zeros = s.redundancy.zero_cells_by_row();
+            let local_ref = &local;
+            let work = rows.saturating_mul(n) * 2;
+            par_row_chunks(out.as_mut_slice(), n, work, |i0, chunk| {
+                let rows_here = chunk.len() / n;
+                // Gather: out[i,:] += local[ci[i],:].
+                for (i, &src_row) in ci[i0..i0 + rows_here].iter().enumerate() {
                     if src_row == NO_MATCH {
                         continue;
                     }
-                    let src = local.row(src_row as usize);
-                    let dst = out.row_mut(i);
+                    let src = local_ref.row(src_row as usize);
+                    let dst = &mut chunk[i * n..(i + 1) * n];
                     for (dv, &sv) in dst.iter_mut().zip(src) {
                         *dv += sv;
                     }
                 }
-            }
-            // Redundancy correction: subtract Σ_{j ∈ zeros(i)} Dₖ[ci,cm[j]]·X[j,:].
-            let cm = s.mapping.compressed();
-            for &(i, ref zero_cols) in s.redundancy.zero_cells_by_row() {
-                let src_row = ci[i];
-                if src_row == NO_MATCH {
-                    continue;
-                }
-                let d_row = d.row(src_row as usize);
-                let dst = out.row_mut(i);
-                for &j in zero_cols {
-                    let sc = cm[j];
-                    if sc == NO_MATCH {
+                // Correction: out[i,:] -= Σ_{j ∈ zeros(i)} Dₖ[ci[i],cm[j]]·X[j,:].
+                let z0 = zeros.partition_point(|&(r, _)| r < i0);
+                for &(i, ref zero_cols) in
+                    zeros[z0..].iter().take_while(|&&(r, _)| r < i0 + rows_here)
+                {
+                    let src_row = ci[i];
+                    if src_row == NO_MATCH {
                         continue;
                     }
-                    let coef = d_row[sc as usize];
-                    if coef == 0.0 {
-                        continue;
-                    }
-                    let x_row = x.row(j);
-                    for (dv, &xv) in dst.iter_mut().zip(x_row) {
-                        *dv -= coef * xv;
+                    let d_row = d.row(src_row as usize);
+                    let dst = &mut chunk[(i - i0) * n..(i - i0 + 1) * n];
+                    for &j in zero_cols {
+                        let sc = cm[j];
+                        if sc == NO_MATCH {
+                            continue;
+                        }
+                        let coef = d_row[sc as usize];
+                        if coef == 0.0 {
+                            continue;
+                        }
+                        let x_row = x.row(j);
+                        for (dv, &xv) in dst.iter_mut().zip(x_row) {
+                            *dv -= coef * xv;
+                        }
                     }
                 }
-            }
+            });
+            ws.give_matrix(xk);
+            ws.give_matrix(local);
         }
-        Ok(out)
+        Ok(())
     }
 
     fn lmm_t_compressed(&self, x: &DenseMatrix, cols: usize) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(cols, x.cols());
+        let mut ws = Workspace::new();
+        self.lmm_t_compressed_into(x, &mut out, &mut ws)?;
+        Ok(out)
+    }
+
+    fn lmm_t_compressed_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
         let n = x.cols();
-        let mut out = DenseMatrix::zeros(cols, n);
+        let cols = out.rows();
+        out.as_mut_slice().fill(0.0);
         for (s, d) in self.metadata().sources.iter().zip(self.source_data()) {
             // Iₖᵀ X: scatter target rows into source rows.
-            let xk = x.scatter_rows_add(s.indicator.compressed(), s.indicator.source_rows())?;
+            let mut xk = ws.take_matrix(s.indicator.source_rows(), n);
+            x.scatter_rows_add_into(s.indicator.compressed(), &mut xk)?;
             // Dₖᵀ (Iₖᵀ X)
-            let local = d.transpose_matmul(&xk)?;
-            // Mₖ (...): gather source-column rows into target-column rows.
-            let cm = s.mapping.compressed();
-            for (t, &src_col) in cm.iter().enumerate() {
-                if src_col == NO_MATCH {
-                    continue;
-                }
-                let src = local.row(src_col as usize);
-                let dst = out.row_mut(t);
-                for (dv, &sv) in dst.iter_mut().zip(src) {
-                    *dv += sv;
-                }
-            }
-            // Redundancy correction: out[j,:] -= Dₖ[ci,cm[j]] · X[i,:].
+            let mut local = ws.take_matrix(d.cols(), n);
+            d.transpose_matmul_into(&xk, &mut local)?;
+            // Mₖ (...) plus correction, parallel over disjoint chunks of
+            // the output's target-column rows; every worker scans the
+            // redundancy list but only touches rows in its own range.
             let ci = s.indicator.compressed();
-            for &(i, ref zero_cols) in s.redundancy.zero_cells_by_row() {
-                let src_row = ci[i];
-                if src_row == NO_MATCH {
-                    continue;
-                }
-                let d_row = d.row(src_row as usize);
-                let x_row_start = i * x.cols();
-                for &j in zero_cols {
-                    let sc = cm[j];
-                    if sc == NO_MATCH {
+            let cm = s.mapping.compressed();
+            let zeros = s.redundancy.zero_cells_by_row();
+            let local_ref = &local;
+            let work = cols.saturating_mul(n) * 2;
+            par_row_chunks(out.as_mut_slice(), n, work, |t0, chunk| {
+                let rows_here = chunk.len() / n;
+                // Gather: out[t,:] += local[cm[t],:].
+                for (t, &src_col) in cm[t0..t0 + rows_here].iter().enumerate() {
+                    if src_col == NO_MATCH {
                         continue;
                     }
-                    let coef = d_row[sc as usize];
-                    if coef == 0.0 {
-                        continue;
-                    }
-                    let x_row = &x.as_slice()[x_row_start..x_row_start + n];
-                    let dst = out.row_mut(j);
-                    for (dv, &xv) in dst.iter_mut().zip(x_row) {
-                        *dv -= coef * xv;
+                    let src = local_ref.row(src_col as usize);
+                    let dst = &mut chunk[t * n..(t + 1) * n];
+                    for (dv, &sv) in dst.iter_mut().zip(src) {
+                        *dv += sv;
                     }
                 }
-            }
+                // Correction: out[j,:] -= Dₖ[ci[i],cm[j]] · X[i,:].
+                for &(i, ref zero_cols) in zeros {
+                    let src_row = ci[i];
+                    if src_row == NO_MATCH {
+                        continue;
+                    }
+                    let d_row = d.row(src_row as usize);
+                    let x_row = x.row(i);
+                    let j0 = zero_cols.partition_point(|&j| j < t0);
+                    for &j in zero_cols[j0..].iter().take_while(|&&j| j < t0 + rows_here) {
+                        let sc = cm[j];
+                        if sc == NO_MATCH {
+                            continue;
+                        }
+                        let coef = d_row[sc as usize];
+                        if coef == 0.0 {
+                            continue;
+                        }
+                        let dst = &mut chunk[(j - t0) * n..(j - t0 + 1) * n];
+                        for (dv, &xv) in dst.iter_mut().zip(x_row) {
+                            *dv -= coef * xv;
+                        }
+                    }
+                }
+            });
+            ws.give_matrix(xk);
+            ws.give_matrix(local);
         }
-        Ok(out)
+        Ok(())
     }
 
     // --- Sparse strategy (literal Equation 2) ------------------------------
@@ -517,6 +649,41 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_match_allocating_operators() {
+        let ft = running_example();
+        let (rows, cols) = ft.target_shape();
+        let x = x_for(cols, 3, 21);
+        let y = x_for(rows, 2, 22);
+        let mut ws = Workspace::new();
+        // Dirty output buffers: `_into` must fully overwrite them.
+        let mut out = DenseMatrix::filled(rows, 3, 7.0);
+        ft.lmm_into(&x, &mut out, &mut ws).unwrap();
+        assert!(out.approx_eq(&ft.lmm(&x, Strategy::Compressed).unwrap(), 1e-12));
+        let mut out_t = DenseMatrix::filled(cols, 2, -3.0);
+        ft.lmm_transpose_into(&y, &mut out_t, &mut ws).unwrap();
+        assert!(out_t.approx_eq(&ft.lmm_transpose(&y, Strategy::Compressed).unwrap(), 1e-12));
+        // Shape validation for the output parameter.
+        let mut wrong = DenseMatrix::zeros(rows, 1);
+        assert!(ft.lmm_into(&x, &mut wrong, &mut ws).is_err());
+        assert!(ft.lmm_transpose_into(&y, &mut wrong, &mut ws).is_err());
+    }
+
+    #[test]
+    fn repeated_lmm_into_is_allocation_free_once_warm() {
+        let ft = running_example();
+        let (rows, cols) = ft.target_shape();
+        let x = x_for(cols, 2, 23);
+        let mut ws = Workspace::new();
+        let mut out = DenseMatrix::zeros(rows, 2);
+        ft.lmm_into(&x, &mut out, &mut ws).unwrap();
+        let warm = ws.fresh_allocations();
+        for _ in 0..10 {
+            ft.lmm_into(&x, &mut out, &mut ws).unwrap();
+        }
+        assert_eq!(ws.fresh_allocations(), warm);
+    }
+
+    #[test]
     fn lmm_transpose_matches_materialized() {
         let ft = running_example();
         let x = x_for(6, 3, 3);
@@ -565,7 +732,9 @@ mod tests {
         let bad = DenseMatrix::zeros(3, 2);
         assert!(ft.lmm(&bad, Strategy::Compressed).is_err());
         assert!(ft.lmm_transpose(&bad, Strategy::Compressed).is_err());
-        assert!(ft.rmm(&DenseMatrix::zeros(2, 5), Strategy::Compressed).is_err());
+        assert!(ft
+            .rmm(&DenseMatrix::zeros(2, 5), Strategy::Compressed)
+            .is_err());
     }
 
     #[test]
@@ -608,8 +777,8 @@ mod tests {
     /// overlaps (full-outer-join shape).
     fn random_factorized(rng: &mut rand::rngs::StdRng) -> FactorizedTable {
         use rand::Rng;
-        let r1 = rng.gen_range(1..8);
-        let r2 = rng.gen_range(1..8);
+        let r1 = rng.gen_range(1usize..8);
+        let r2 = rng.gen_range(1usize..8);
         let shared_cols = rng.gen_range(0..3usize);
         let own1 = rng.gen_range(1..4usize);
         let own2 = rng.gen_range(1..4usize);

@@ -378,7 +378,7 @@ pub(crate) mod tests {
         assert_eq!(t2.get(3, 1), 37.0); // duplicate a
         assert_eq!(t2.get(3, 3), 92.0); // genuine new o
         assert_eq!(t2.get(0, 0), 0.0); // Jack's row: no S2 contribution
-                                        // Naive T1 + T2 would double-count Jane: T1+T2 ≠ T.
+                                       // Naive T1 + T2 would double-count Jane: T1+T2 ≠ T.
         let t1 = ft.intermediate(0).unwrap();
         let naive = t1.add(&t2).unwrap();
         assert!(!naive.approx_eq(&figure2d_target(), 1e-12));
@@ -388,7 +388,10 @@ pub(crate) mod tests {
     fn materialize_column_extracts_labels() {
         let ft = running_example();
         // Column 0 is the mortality label.
-        assert_eq!(ft.materialize_column(0).unwrap(), vec![0.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(
+            ft.materialize_column(0).unwrap(),
+            vec![0.0, 1.0, 0.0, 1.0, 1.0, 0.0]
+        );
         // Column 3 is oxygen.
         assert_eq!(
             ft.materialize_column(3).unwrap(),
@@ -402,10 +405,7 @@ pub(crate) mod tests {
         let ft = running_example();
         let (features, y) = ft.split_label(0).unwrap();
         assert_eq!(features.target_shape(), (6, 3));
-        assert_eq!(
-            features.metadata().target_columns,
-            vec!["a", "hr", "o"]
-        );
+        assert_eq!(features.metadata().target_columns, vec!["a", "hr", "o"]);
         assert_eq!(y.shape(), (6, 1));
         assert_eq!(y.col(0), vec![0.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
         // Feature materialization equals T with col 0 removed.

@@ -146,13 +146,11 @@ mod tests {
         let md = ft.metadata();
         for (view, s) in views.iter().zip(&md.sources) {
             let own = s.mapping.mapped_target_cols();
-            let theta_k = DenseMatrix::from_vec(
-                own.len(),
-                1,
-                own.iter().map(|&c| theta.get(c, 0)).collect(),
-            )
-            .unwrap();
-            sum.add_assign(&view.features.matmul(&theta_k).unwrap()).unwrap();
+            let theta_k =
+                DenseMatrix::from_vec(own.len(), 1, own.iter().map(|&c| theta.get(c, 0)).collect())
+                    .unwrap();
+            sum.add_assign(&view.features.matmul(&theta_k).unwrap())
+                .unwrap();
         }
         assert!(sum.approx_eq(&reference, 1e-9));
     }

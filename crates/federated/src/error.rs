@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(FederatedError::Misaligned("x".into()).to_string().contains("misaligned"));
+        assert!(FederatedError::Misaligned("x".into())
+            .to_string()
+            .contains("misaligned"));
         let e: FederatedError = amalur_crypto::CryptoError::NotInvertible.into();
         assert!(matches!(e, FederatedError::Crypto(_)));
         let e: FederatedError = amalur_matrix::MatrixError::Singular.into();

@@ -156,7 +156,11 @@ mod tests {
     use rand::Rng;
 
     /// Splits a common linear dataset across `k` silos.
-    fn silos(k: usize, rows_each: usize, seed: u64) -> (Vec<PartySamples>, DenseMatrix, DenseMatrix) {
+    fn silos(
+        k: usize,
+        rows_each: usize,
+        seed: u64,
+    ) -> (Vec<PartySamples>, DenseMatrix, DenseMatrix) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let truth = [2.0, -1.0, 0.5];
         let mut parties = Vec::new();
@@ -166,8 +170,7 @@ mod tests {
             let x = DenseMatrix::random_uniform(rows_each, 3, -1.0, 1.0, &mut rng);
             let y: Vec<f64> = (0..rows_each)
                 .map(|r| {
-                    (0..3).map(|c| x.get(r, c) * truth[c]).sum::<f64>()
-                        + rng.gen_range(-0.01..0.01)
+                    (0..3).map(|c| x.get(r, c) * truth[c]).sum::<f64>() + rng.gen_range(-0.01..0.01)
                 })
                 .collect();
             all_x = Some(match all_x {
@@ -181,11 +184,7 @@ mod tests {
                 y: DenseMatrix::column_vector(&y),
             });
         }
-        (
-            parties,
-            all_x.unwrap(),
-            DenseMatrix::column_vector(&all_y),
-        )
+        (parties, all_x.unwrap(), DenseMatrix::column_vector(&all_y))
     }
 
     /// Centralized GD on the union with the same update rule.

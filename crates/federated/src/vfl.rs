@@ -176,8 +176,7 @@ impl PartyRuntime {
             PrivacyMode::SecretShared => {
                 // Split every entry into n shares; keep this party's own
                 // share locally, emit the rest for routing.
-                let mut bundles: Vec<Vec<u64>> =
-                    vec![Vec::with_capacity(u.len()); self.n_parties];
+                let mut bundles: Vec<Vec<u64>> = vec![Vec::with_capacity(u.len()); self.n_parties];
                 for &v in &u {
                     let enc = self.fp.encode(v)?;
                     let shares = additive::share(enc, self.n_parties, &mut self.rng)?;
@@ -232,7 +231,11 @@ impl PartyRuntime {
 /// # Errors
 /// * [`FederatedError::InvalidConfig`] for zero parties/epochs.
 /// * [`FederatedError::Misaligned`] for inconsistent row counts.
-pub fn train_vfl(features: &[DenseMatrix], y: &DenseMatrix, config: &VflConfig) -> Result<VflResult> {
+pub fn train_vfl(
+    features: &[DenseMatrix],
+    y: &DenseMatrix,
+    config: &VflConfig,
+) -> Result<VflResult> {
     if features.is_empty() || config.epochs == 0 {
         return Err(FederatedError::InvalidConfig(
             "need at least one party and one epoch".into(),
@@ -258,9 +261,7 @@ pub fn train_vfl(features: &[DenseMatrix], y: &DenseMatrix, config: &VflConfig) 
     let n_parties = features.len();
     let mut seed_rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let keypair = match config.privacy {
-        PrivacyMode::Paillier { key_bits } => {
-            Some(KeyPair::generate(key_bits, &mut seed_rng)?)
-        }
+        PrivacyMode::Paillier { key_bits } => Some(KeyPair::generate(key_bits, &mut seed_rng)?),
         _ => None,
     };
     let fp = FixedPoint::default();
@@ -340,20 +341,15 @@ pub fn train_vfl(features: &[DenseMatrix], y: &DenseMatrix, config: &VflConfig) 
                         match recv(k)? {
                             FromParty::ShareBundle(bundles) => {
                                 comm.messages += 1;
-                                let mut peer_iter =
-                                    (0..n_parties).filter(|&p| p != k);
+                                let mut peer_iter = (0..n_parties).filter(|&p| p != k);
                                 for b in bundles {
                                     comm.bytes_up += b.len() * 8;
-                                    let p = peer_iter
-                                        .next()
-                                        .expect("n_parties - 1 bundles");
+                                    let p = peer_iter.next().expect("n_parties - 1 bundles");
                                     routed[p].push(b);
                                 }
                             }
                             _ => {
-                                return Err(FederatedError::Protocol(
-                                    "expected ShareBundle".into(),
-                                ))
+                                return Err(FederatedError::Protocol("expected ShareBundle".into()))
                             }
                         }
                     }
@@ -373,11 +369,7 @@ pub fn train_vfl(features: &[DenseMatrix], y: &DenseMatrix, config: &VflConfig) 
                                 let summed = additive::add_shares(&acc, &v)?;
                                 acc = summed;
                             }
-                            _ => {
-                                return Err(FederatedError::Protocol(
-                                    "expected ShareSum".into(),
-                                ))
-                            }
+                            _ => return Err(FederatedError::Protocol("expected ShareSum".into())),
                         }
                     }
                     let out = acc.iter().map(|&v| fp.decode(v)).collect();
@@ -391,8 +383,7 @@ pub fn train_vfl(features: &[DenseMatrix], y: &DenseMatrix, config: &VflConfig) 
                     for k in 0..n_parties {
                         match recv(k)? {
                             FromParty::PartialCipher(c) => {
-                                comm.bytes_up +=
-                                    c.len() * kp.public.modulus_bits() / 4; // |n²| bits
+                                comm.bytes_up += c.len() * kp.public.modulus_bits() / 4; // |n²| bits
                                 comm.messages += 1;
                                 acc = Some(match acc {
                                     None => c,
@@ -426,8 +417,7 @@ pub fn train_vfl(features: &[DenseMatrix], y: &DenseMatrix, config: &VflConfig) 
                 .zip(y.as_slice())
                 .map(|(&ui, &yi)| ui - yi)
                 .collect();
-            let loss =
-                residual.iter().map(|d| d * d).sum::<f64>() / (2.0 * n as f64);
+            let loss = residual.iter().map(|d| d * d).sum::<f64>() / (2.0 * n as f64);
             loss_history.push(loss);
             for tx in &to_party {
                 comm.bytes_down += residual.len() * 8;
@@ -551,7 +541,16 @@ mod tests {
         );
         assert!(result.comm.crypto_time > std::time::Duration::ZERO);
         // Secret sharing costs extra traffic vs plaintext.
-        let plain = train_vfl(&features, &y, &VflConfig { epochs: 30, learning_rate: 0.3, ..VflConfig::default() }).unwrap();
+        let plain = train_vfl(
+            &features,
+            &y,
+            &VflConfig {
+                epochs: 30,
+                learning_rate: 0.3,
+                ..VflConfig::default()
+            },
+        )
+        .unwrap();
         assert!(result.comm.total_bytes() > plain.comm.total_bytes());
     }
 

@@ -70,8 +70,12 @@ pub fn match_rows(
         .column_by_name(right_key)
         .map_err(|_| IntegrationError::UnknownColumn(right_key.to_owned()))?;
 
-    let lkeys: Vec<String> = (0..left.num_rows()).map(|i| lcol.get(i).to_string()).collect();
-    let rkeys: Vec<String> = (0..right.num_rows()).map(|i| rcol.get(i).to_string()).collect();
+    let lkeys: Vec<String> = (0..left.num_rows())
+        .map(|i| lcol.get(i).to_string())
+        .collect();
+    let rkeys: Vec<String> = (0..right.num_rows())
+        .map(|i| rcol.get(i).to_string())
+        .collect();
 
     let mut candidates: Vec<RowMatch> = Vec::new();
 
@@ -105,9 +109,8 @@ pub fn match_rows(
     // Fuzzy phase with blocking: compare only rows whose normalized first
     // character agrees, and only rows not already matched exactly.
     if !config.exact_only {
-        let block_of = |s: &str| -> Option<char> {
-            s.chars().next().map(|c| c.to_ascii_lowercase())
-        };
+        let block_of =
+            |s: &str| -> Option<char> { s.chars().next().map(|c| c.to_ascii_lowercase()) };
         let mut blocks: HashMap<char, Vec<usize>> = HashMap::new();
         for (j, k) in rkeys.iter().enumerate() {
             if right_exactly_matched[j] {

@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(IntegrationError::TgdParse("x".into()).to_string().contains("tgd"));
+        assert!(IntegrationError::TgdParse("x".into())
+            .to_string()
+            .contains("tgd"));
         let rel = amalur_relational::RelationalError::UnknownColumn("c".into());
         let e: IntegrationError = rel.into();
         assert!(matches!(e, IntegrationError::Relational(_)));

@@ -35,7 +35,9 @@ pub mod tgd;
 pub use er::{match_rows, ErConfig, RowMatch};
 pub use error::{IntegrationError, Result};
 pub use matching::{match_schemas, ColumnMatch, MatchingConfig};
-pub use metadata::{DiMetadata, DupBlock, IndicatorMatrix, MappingMatrix, RedundancyMatrix, SourceMetadata};
+pub use metadata::{
+    DiMetadata, DupBlock, IndicatorMatrix, MappingMatrix, RedundancyMatrix, SourceMetadata,
+};
 pub use scenario::{
     integrate_pair, integrate_union, materialize_relationally, IntegrationOptions,
     IntegrationResult, ScenarioKind,

@@ -219,7 +219,9 @@ mod tests {
         assert!(pairs.contains(&("name", "name")));
         assert!(pairs.contains(&("age", "age")));
         // restingHR and oxygen must NOT match each other.
-        assert!(!pairs.iter().any(|&(l, r)| l == "restingHR" && r == "oxygen"));
+        assert!(!pairs
+            .iter()
+            .any(|&(l, r)| l == "restingHR" && r == "oxygen"));
     }
 
     #[test]
@@ -237,15 +239,23 @@ mod tests {
 
     #[test]
     fn incompatible_types_never_match() {
-        let a = TableBuilder::new("a", &[("x", DataType::Utf8)]).unwrap().build();
-        let b = TableBuilder::new("b", &[("x", DataType::Float64)]).unwrap().build();
+        let a = TableBuilder::new("a", &[("x", DataType::Utf8)])
+            .unwrap()
+            .build();
+        let b = TableBuilder::new("b", &[("x", DataType::Float64)])
+            .unwrap()
+            .build();
         assert!(match_schemas(&a, &b, &MatchingConfig::default()).is_empty());
     }
 
     #[test]
     fn numeric_types_unify() {
-        let a = TableBuilder::new("a", &[("x", DataType::Int64)]).unwrap().build();
-        let b = TableBuilder::new("b", &[("x", DataType::Float64)]).unwrap().build();
+        let a = TableBuilder::new("a", &[("x", DataType::Int64)])
+            .unwrap()
+            .build();
+        let b = TableBuilder::new("b", &[("x", DataType::Float64)])
+            .unwrap()
+            .build();
         assert_eq!(match_schemas(&a, &b, &MatchingConfig::default()).len(), 1);
     }
 
@@ -276,13 +286,12 @@ mod tests {
 
     #[test]
     fn greedy_assignment_is_one_to_one() {
-        let a = TableBuilder::new(
-            "a",
-            &[("x", DataType::Float64), ("x2", DataType::Float64)],
-        )
-        .unwrap()
-        .build();
-        let b = TableBuilder::new("b", &[("x", DataType::Float64)]).unwrap().build();
+        let a = TableBuilder::new("a", &[("x", DataType::Float64), ("x2", DataType::Float64)])
+            .unwrap()
+            .build();
+        let b = TableBuilder::new("b", &[("x", DataType::Float64)])
+            .unwrap()
+            .build();
         let matches = match_schemas(&a, &b, &MatchingConfig::default());
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].left, "x"); // exact beats fuzzy

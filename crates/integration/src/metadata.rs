@@ -249,7 +249,12 @@ impl RedundancyMatrix {
             }
         }
         let zero_by_row = index_zero_cells(&blocks);
-        Ok(Self { rows, cols, blocks, zero_by_row })
+        Ok(Self {
+            rows,
+            cols,
+            blocks,
+            zero_by_row,
+        })
     }
 
     /// Computes `Rₖ` for source `k` against all earlier sources
@@ -263,8 +268,16 @@ impl RedundancyMatrix {
     ) -> Result<Self> {
         let rows = own_indicator.target_rows();
         let cols = own_mapping.target_cols();
-        let own_rows: Vec<bool> = own_indicator.compressed().iter().map(|&j| j != NO_MATCH).collect();
-        let own_cols: Vec<bool> = own_mapping.compressed().iter().map(|&j| j != NO_MATCH).collect();
+        let own_rows: Vec<bool> = own_indicator
+            .compressed()
+            .iter()
+            .map(|&j| j != NO_MATCH)
+            .collect();
+        let own_cols: Vec<bool> = own_mapping
+            .compressed()
+            .iter()
+            .map(|&j| j != NO_MATCH)
+            .collect();
         let mut blocks = Vec::new();
         for (ind, map) in earlier {
             if ind.target_rows() != rows || map.target_cols() != cols {
@@ -294,7 +307,12 @@ impl RedundancyMatrix {
             }
         }
         let zero_by_row = index_zero_cells(&blocks);
-        Ok(Self { rows, cols, blocks, zero_by_row })
+        Ok(Self {
+            rows,
+            cols,
+            blocks,
+            zero_by_row,
+        })
     }
 
     /// Matrix shape (`r_T × c_T`).
@@ -428,7 +446,12 @@ mod tests {
     use super::*;
 
     /// CM₁/CM₂ and CI₁/CI₂ of Figure 4 (running example).
-    fn figure4_metadata() -> (MappingMatrix, MappingMatrix, IndicatorMatrix, IndicatorMatrix) {
+    fn figure4_metadata() -> (
+        MappingMatrix,
+        MappingMatrix,
+        IndicatorMatrix,
+        IndicatorMatrix,
+    ) {
         // Target T(m, a, hr, o); S1 maps (m,a,hr) = cols 0,1,2; S2 maps (m,a,o).
         let cm1 = MappingMatrix::new(vec![0, 1, 2, NO_MATCH], 3).unwrap();
         let cm2 = MappingMatrix::new(vec![0, 1, NO_MATCH, 2], 3).unwrap();
@@ -514,13 +537,19 @@ mod tests {
         assert!(RedundancyMatrix::from_blocks(
             3,
             3,
-            vec![DupBlock { rows: vec![5], cols: vec![0] }]
+            vec![DupBlock {
+                rows: vec![5],
+                cols: vec![0]
+            }]
         )
         .is_err());
         assert!(RedundancyMatrix::from_blocks(
             3,
             3,
-            vec![DupBlock { rows: vec![0], cols: vec![7] }]
+            vec![DupBlock {
+                rows: vec![0],
+                cols: vec![7]
+            }]
         )
         .is_err());
     }
@@ -531,8 +560,14 @@ mod tests {
             4,
             4,
             vec![
-                DupBlock { rows: vec![0, 1], cols: vec![0, 1] },
-                DupBlock { rows: vec![1, 2], cols: vec![1, 2] },
+                DupBlock {
+                    rows: vec![0, 1],
+                    cols: vec![0, 1],
+                },
+                DupBlock {
+                    rows: vec![1, 2],
+                    cols: vec![1, 2],
+                },
             ],
         )
         .unwrap();
@@ -548,9 +583,7 @@ mod tests {
     fn against_earlier_shape_mismatch() {
         let (cm1, cm2, ci1, _) = figure4_metadata();
         let short_ci = IndicatorMatrix::new(vec![0], 3).unwrap();
-        assert!(
-            RedundancyMatrix::against_earlier(&[(&ci1, &cm1)], &short_ci, &cm2).is_err()
-        );
+        assert!(RedundancyMatrix::against_earlier(&[(&ci1, &cm1)], &short_ci, &cm2).is_err());
     }
 
     #[test]

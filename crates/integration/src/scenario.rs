@@ -169,8 +169,7 @@ pub fn integrate_pair(
     let feature_matches: Vec<&ColumnMatch> = column_matches
         .iter()
         .filter(|m| {
-            left_features.contains(&m.left.as_str())
-                && right_features.contains(&m.right.as_str())
+            left_features.contains(&m.left.as_str()) && right_features.contains(&m.right.as_str())
         })
         .collect();
 
@@ -196,8 +195,7 @@ pub fn integrate_pair(
             .map(|l| (*l).to_owned())
             .collect(),
         _ => {
-            let mut cols: Vec<String> =
-                left_features.iter().map(|l| (*l).to_owned()).collect();
+            let mut cols: Vec<String> = left_features.iter().map(|l| (*l).to_owned()).collect();
             cols.extend(
                 right_features
                     .iter()
@@ -271,11 +269,8 @@ pub fn integrate_pair(
 
     // --- Redundancy matrices ---------------------------------------------
     let redundancy1 = RedundancyMatrix::all_ones(target_rows, target_columns.len());
-    let redundancy2 = RedundancyMatrix::against_earlier(
-        &[(&indicator1, &mapping1)],
-        &indicator2,
-        &mapping2,
-    )?;
+    let redundancy2 =
+        RedundancyMatrix::against_earlier(&[(&indicator1, &mapping1)], &indicator2, &mapping2)?;
 
     // --- Source data matrices Dₖ -----------------------------------------
     let left_refs: Vec<&str> = left_mapped.iter().map(String::as_str).collect();
@@ -467,11 +462,7 @@ pub fn materialize_relationally(
 /// # Errors
 /// [`IntegrationError::NoMatches`] when the tables share no numeric
 /// feature columns.
-pub fn integrate_union(
-    tables: &[&Table],
-    key: &str,
-    null_value: f64,
-) -> Result<IntegrationResult> {
+pub fn integrate_union(tables: &[&Table], key: &str, null_value: f64) -> Result<IntegrationResult> {
     let first = tables
         .first()
         .ok_or_else(|| IntegrationError::NoMatches("union of zero tables".into()))?;
@@ -582,11 +573,29 @@ mod tests {
             ],
         )
         .unwrap()
-        .row(vec![1.into(), "Rose".into(), 45.0.into(), 95.0.into(), "1/4/21".into()])
+        .row(vec![
+            1.into(),
+            "Rose".into(),
+            45.0.into(),
+            95.0.into(),
+            "1/4/21".into(),
+        ])
         .unwrap()
-        .row(vec![0.into(), "Castiel".into(), 20.0.into(), 97.0.into(), "3/8/22".into()])
+        .row(vec![
+            0.into(),
+            "Castiel".into(),
+            20.0.into(),
+            97.0.into(),
+            "3/8/22".into(),
+        ])
         .unwrap()
-        .row(vec![1.into(), "Jane".into(), 37.0.into(), 92.0.into(), "11/5/21".into()])
+        .row(vec![
+            1.into(),
+            "Jane".into(),
+            37.0.into(),
+            92.0.into(),
+            "11/5/21".into(),
+        ])
         .unwrap()
         .build()
     }
@@ -606,8 +615,14 @@ mod tests {
         assert_eq!(s1m.mapping.compressed(), &[0, 1, 2, NO_MATCH]);
         assert_eq!(s2m.mapping.compressed(), &[0, 1, NO_MATCH, 2]);
         // CI₁ = [0,1,2,3,-1,-1]; CI₂ = [-1,-1,-1,2,0,1] (Figure 4b).
-        assert_eq!(s1m.indicator.compressed(), &[0, 1, 2, 3, NO_MATCH, NO_MATCH]);
-        assert_eq!(s2m.indicator.compressed(), &[NO_MATCH, NO_MATCH, NO_MATCH, 2, 0, 1]);
+        assert_eq!(
+            s1m.indicator.compressed(),
+            &[0, 1, 2, 3, NO_MATCH, NO_MATCH]
+        );
+        assert_eq!(
+            s2m.indicator.compressed(),
+            &[NO_MATCH, NO_MATCH, NO_MATCH, 2, 0, 1]
+        );
         // R₂ zero exactly at Jane's shared (m, a) cells (Figure 4c).
         assert_eq!(s2m.redundancy.get(3, 0), 0.0);
         assert_eq!(s2m.redundancy.get(3, 1), 0.0);
@@ -628,14 +643,8 @@ mod tests {
         assert!(r.tgds[0].is_full()); // m1
         assert!(!r.tgds[1].is_full()); // m2: ∃o
         assert!(!r.tgds[2].is_full()); // m3: ∃hr
-        assert_eq!(
-            r.tgds[1].existential_vars(),
-            ["o"].into_iter().collect()
-        );
-        assert_eq!(
-            r.tgds[2].existential_vars(),
-            ["hr"].into_iter().collect()
-        );
+        assert_eq!(r.tgds[1].existential_vars(), ["o"].into_iter().collect());
+        assert_eq!(r.tgds[2].existential_vars(), ["hr"].into_iter().collect());
     }
 
     #[test]
@@ -676,10 +685,7 @@ mod tests {
     #[test]
     fn explicit_column_matches_override_matching() {
         let mut o = opts();
-        o.column_matches = Some(vec![
-            ("m".into(), "m".into()),
-            ("a".into(), "a".into()),
-        ]);
+        o.column_matches = Some(vec![("m".into(), "m".into()), ("a".into(), "a".into())]);
         let r = integrate_pair(&s1(), &s2(), ScenarioKind::FullOuterJoin, &o).unwrap();
         assert_eq!(r.metadata.target_columns, vec!["m", "a", "hr", "o"]);
     }
@@ -709,23 +715,41 @@ mod tests {
 
     #[test]
     fn integrate_union_many() {
-        let t1 = TableBuilder::new("A", &[("id", DataType::Int64), ("x", DataType::Float64), ("y", DataType::Float64)])
-            .unwrap()
-            .row(vec![1.into(), 1.0.into(), 2.0.into()])
-            .unwrap()
-            .build();
-        let t2 = TableBuilder::new("B", &[("id", DataType::Int64), ("x", DataType::Float64), ("y", DataType::Float64), ("z", DataType::Float64)])
-            .unwrap()
-            .row(vec![2.into(), 3.0.into(), 4.0.into(), 9.0.into()])
-            .unwrap()
-            .row(vec![3.into(), 5.0.into(), 6.0.into(), 9.0.into()])
-            .unwrap()
-            .build();
+        let t1 = TableBuilder::new(
+            "A",
+            &[
+                ("id", DataType::Int64),
+                ("x", DataType::Float64),
+                ("y", DataType::Float64),
+            ],
+        )
+        .unwrap()
+        .row(vec![1.into(), 1.0.into(), 2.0.into()])
+        .unwrap()
+        .build();
+        let t2 = TableBuilder::new(
+            "B",
+            &[
+                ("id", DataType::Int64),
+                ("x", DataType::Float64),
+                ("y", DataType::Float64),
+                ("z", DataType::Float64),
+            ],
+        )
+        .unwrap()
+        .row(vec![2.into(), 3.0.into(), 4.0.into(), 9.0.into()])
+        .unwrap()
+        .row(vec![3.into(), 5.0.into(), 6.0.into(), 9.0.into()])
+        .unwrap()
+        .build();
         let r = integrate_union(&[&t1, &t2], "id", 0.0).unwrap();
         assert_eq!(r.metadata.target_columns, vec!["x", "y"]);
         assert_eq!(r.metadata.target_rows, 3);
         assert_eq!(r.metadata.sources.len(), 2);
-        assert_eq!(r.metadata.sources[1].indicator.compressed(), &[NO_MATCH, 0, 1]);
+        assert_eq!(
+            r.metadata.sources[1].indicator.compressed(),
+            &[NO_MATCH, 0, 1]
+        );
         assert_eq!(r.source_data[1].shape(), (2, 2));
     }
 
@@ -745,9 +769,6 @@ mod tests {
     fn scenario_kind_display_and_join_type() {
         assert_eq!(ScenarioKind::FullOuterJoin.to_string(), "full outer join");
         assert_eq!(ScenarioKind::Union.join_type(), None);
-        assert_eq!(
-            ScenarioKind::InnerJoin.join_type(),
-            Some(JoinType::Inner)
-        );
+        assert_eq!(ScenarioKind::InnerJoin.join_type(), Some(JoinType::Inner));
     }
 }

@@ -163,9 +163,7 @@ pub fn integrate_star(
             .schema()
             .names()
             .iter()
-            .filter(|c| {
-                shared.iter().any(|(sc, _)| sc == *c) || fresh.iter().any(|f| f == *c)
-            })
+            .filter(|c| shared.iter().any(|(sc, _)| sc == *c) || fresh.iter().any(|f| f == *c))
             .map(|c| (*c).to_owned())
             .collect();
         let cm: Vec<i64> = target_columns
@@ -224,8 +222,8 @@ pub fn integrate_star(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amalur_relational::{DataType, TableBuilder};
     use amalur_matrix::DenseMatrix;
+    use amalur_relational::{DataType, TableBuilder};
 
     fn base() -> Table {
         TableBuilder::new(
@@ -247,13 +245,16 @@ mod tests {
     }
 
     fn sat_a() -> Table {
-        TableBuilder::new("lab", &[("pid", DataType::Int64), ("creat", DataType::Float64)])
-            .unwrap()
-            .row(vec![2.into(), 1.2.into()])
-            .unwrap()
-            .row(vec![3.into(), 0.9.into()])
-            .unwrap()
-            .build()
+        TableBuilder::new(
+            "lab",
+            &[("pid", DataType::Int64), ("creat", DataType::Float64)],
+        )
+        .unwrap()
+        .row(vec![2.into(), 1.2.into()])
+        .unwrap()
+        .row(vec![3.into(), 0.9.into()])
+        .unwrap()
+        .build()
     }
 
     fn sat_b() -> Table {

@@ -87,9 +87,7 @@ impl Tgd {
         let (body_txt, head_txt) = rest
             .split_once("->")
             .or_else(|| rest.split_once('→'))
-            .ok_or_else(|| {
-                IntegrationError::TgdParse(format!("missing '->' in tgd: {text}"))
-            })?;
+            .ok_or_else(|| IntegrationError::TgdParse(format!("missing '->' in tgd: {text}")))?;
         let body = parse_atoms(body_txt)?;
         let head = parse_atoms(head_txt)?;
         if body.is_empty() || head.is_empty() {
@@ -97,11 +95,7 @@ impl Tgd {
                 "tgd needs at least one body and one head atom".into(),
             ));
         }
-        Ok(Tgd {
-            name,
-            body,
-            head,
-        })
+        Ok(Tgd { name, body, head })
     }
 
     /// Variables universally quantified: all body variables.
@@ -173,7 +167,10 @@ impl fmt::Display for Tgd {
 
 fn parse_atoms(text: &str) -> Result<Vec<Atom>> {
     // Normalize conjunction separators to '&'.
-    let normalized = text.replace('∧', "&").replace(" AND ", " & ").replace(" and ", " & ");
+    let normalized = text
+        .replace('∧', "&")
+        .replace(" AND ", " & ")
+        .replace(" and ", " & ");
     normalized
         .split('&')
         .map(str::trim)
@@ -183,9 +180,9 @@ fn parse_atoms(text: &str) -> Result<Vec<Atom>> {
 }
 
 fn parse_atom(text: &str) -> Result<Atom> {
-    let open = text.find('(').ok_or_else(|| {
-        IntegrationError::TgdParse(format!("atom missing '(': {text}"))
-    })?;
+    let open = text
+        .find('(')
+        .ok_or_else(|| IntegrationError::TgdParse(format!("atom missing '(': {text}")))?;
     if !text.ends_with(')') {
         return Err(IntegrationError::TgdParse(format!(
             "atom missing ')': {text}"

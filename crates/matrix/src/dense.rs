@@ -81,7 +81,11 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Self { rows: r, cols: c, data })
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds a single-column matrix from a vector.
@@ -213,6 +217,24 @@ impl DenseMatrix {
     /// Returns the transpose as a new matrix.
     pub fn transpose(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out)
+            .expect("freshly allocated output has the transposed shape");
+        out
+    }
+
+    /// Writes the transpose into the caller-owned `out`
+    /// (`cols × rows`, fully overwritten).
+    ///
+    /// # Errors
+    /// Shape mismatch of `out`.
+    pub fn transpose_into(&self, out: &mut DenseMatrix) -> Result<()> {
+        if out.shape() != (self.cols, self.rows) {
+            return Err(MatrixError::DimensionMismatch {
+                op: "transpose_into",
+                lhs: (self.cols, self.rows),
+                rhs: out.shape(),
+            });
+        }
         // Blocked transpose for cache friendliness on large matrices.
         const B: usize = 32;
         for ib in (0..self.rows).step_by(B) {
@@ -226,7 +248,7 @@ impl DenseMatrix {
                 }
             }
         }
-        out
+        Ok(())
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -409,6 +431,16 @@ mod tests {
         assert_eq!(t.shape(), (3, 2));
         assert_eq!(t.get(0, 0), 1.0);
         assert_eq!(t.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn transpose_into_overwrites_dirty_buffer() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let mut out = DenseMatrix::filled(3, 2, -1.0);
+        m.transpose_into(&mut out).unwrap();
+        assert_eq!(out, m.transpose());
+        let mut wrong = DenseMatrix::zeros(2, 3);
+        assert!(m.transpose_into(&mut wrong).is_err());
     }
 
     #[test]

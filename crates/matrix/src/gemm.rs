@@ -3,17 +3,84 @@
 //! The factorized-learning rewrites of §IV replace one big multiplication
 //! over the target table `T` with several smaller multiplications over the
 //! source tables `Dₖ`, so multiplication dominates every benchmark in this
-//! workspace. The kernel below is a cache-blocked `i-k-j` loop ordering
-//! (the inner loop runs over contiguous memory of both `B` and `C`), with
-//! optional row-parallelism over `std::thread::scope` for large problems.
+//! workspace.
+//!
+//! # Kernel architecture
+//!
+//! Large products run through a packed, register-blocked micro-kernel in
+//! the BLIS style:
+//!
+//! * the innermost unit is an `MR × NR` register tile accumulated over a
+//!   `KC`-long panel (`acc[r][c] += a[r] · b[c]`, fully unrolled over
+//!   fixed-size arrays so LLVM keeps the tile in vector registers);
+//! * operands are **packed** first — `A` into column-major `MR`-row
+//!   panels, `B` into row-major `NR`-column panels — so the micro-kernel
+//!   streams both operands contiguously regardless of the logical layout;
+//! * macro loops walk `MC × KC` blocks of `A` and `KC × NC` panels of `B`
+//!   (`jc → kb → ib` order), keeping the packed `A` block L2-resident and
+//!   each packed `B` panel hot across all row blocks.
+//!
+//! Packing is *strided*: element `(i, j)` of a logical operand lives at
+//! `buf[i · rs + j · cs]`, which lets the same kernel compute `A·B`
+//! (`rs = k, cs = 1`), `Aᵀ·B` (`rs = 1, cs = m`) and `A·Bᵀ`
+//! (`rs = 1, cs = k`) without ever materializing a transpose.
+//!
+//! All four operators (`matmul`, `transpose_matmul`, `matmul_transpose`,
+//! `gram`) parallelize over disjoint output-row chunks via
+//! [`crate::par::par_row_chunks`]. Pack buffers are thread-local: on the
+//! serial path (everything below the parallel threshold — including the
+//! per-epoch products of the GD training loops) repeated calls reuse
+//! them and the steady-state hot path performs no heap allocation (see
+//! [`crate::Workspace`] for the scratch-buffer contract). Parallel
+//! workers are freshly spawned scoped threads, so each packs into its
+//! own buffers for the duration of the call (~1.2 MB per worker) —
+//! bounded, per-call scratch that is part of the spawn cost, outside
+//! the workspace contract. Small problems skip packing entirely and use
+//! the cache-blocked axpy/dot loops that also serve as the reference
+//! path.
 
+use crate::par::{available_threads, par_row_chunks, PAR_WORK_THRESHOLD};
+use crate::workspace::check_out_shape;
 use crate::{DenseMatrix, MatrixError, Result};
+use std::cell::RefCell;
 
-/// Minimum FLOP count (2·m·n·k) before the parallel path is considered.
-const PAR_FLOP_THRESHOLD: usize = 8_000_000;
-
-/// Block size for the k-dimension panel.
+/// Micro-tile rows (register blocking).
+const MR: usize = 4;
+/// Micro-tile columns (register blocking; two 4-lane AVX2 vectors).
+const NR: usize = 8;
+/// Rows of `A` packed per macro block (L2 blocking).
+const MC: usize = 64;
+/// Depth of one packed panel (L1/L2 blocking).
 const KC: usize = 256;
+/// Columns of `B` packed per macro panel (L3 blocking).
+const NC: usize = 512;
+
+/// Minimum FLOP count (2·m·n·k) before the packed path is considered;
+/// below this the plain blocked loops win because packing is O(m·k + k·n).
+const PACK_FLOP_THRESHOLD: usize = 65_536;
+
+/// Element `(i, j)` of a logical operand lives at `buf[i·rs + j·cs]`.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    rs: usize,
+    cs: usize,
+}
+
+impl Layout {
+    #[inline]
+    fn at(self, i: usize, j: usize) -> usize {
+        i * self.rs + j * self.cs
+    }
+}
+
+thread_local! {
+    /// Per-thread packing scratch (`A` panels, `B` panels). Thread-local
+    /// so parallel workers never contend; repeated *serial* calls reuse
+    /// the buffers without allocating, while each scoped parallel worker
+    /// packs into its own per-call buffers (see the module docs).
+    static PACK_BUFS: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 impl DenseMatrix {
     /// Matrix product `self * rhs`.
@@ -22,6 +89,18 @@ impl DenseMatrix {
     /// Returns [`MatrixError::DimensionMismatch`] when
     /// `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.rows(), rhs.cols());
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs` written into the caller-owned `out`
+    /// (`m × n`, fully overwritten). Never allocates for the output;
+    /// see [`crate::Workspace`] for obtaining reusable buffers.
+    ///
+    /// # Errors
+    /// Dimension mismatch of the operands or of `out`.
+    pub fn matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if self.cols() != rhs.rows() {
             return Err(MatrixError::DimensionMismatch {
                 op: "matmul",
@@ -31,25 +110,25 @@ impl DenseMatrix {
         }
         let (m, k) = self.shape();
         let n = rhs.cols();
-        // Matrix–vector fast path: one dot product per row (the blocked
-        // kernel degenerates to length-1 axpy calls when n == 1).
+        check_out_shape("matmul_into", out, m, n)?;
+        // Matrix–vector fast path: one dot product per row.
         if n == 1 {
             let v = rhs.as_slice();
-            let mut out = DenseMatrix::zeros(m, 1);
             for (o, row) in out.as_mut_slice().iter_mut().zip(self.row_iter()) {
                 *o = dot(row, v);
             }
-            return Ok(out);
+            return Ok(());
         }
-        let mut out = DenseMatrix::zeros(m, n);
-        let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
-        let threads = available_threads();
-        if flops >= PAR_FLOP_THRESHOLD && threads > 1 && m >= threads {
-            matmul_parallel(self, rhs, &mut out, threads);
-        } else {
-            matmul_block(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
-        }
-        Ok(out)
+        let a = Operand {
+            buf: self.as_slice(),
+            layout: Layout { rs: k, cs: 1 },
+        };
+        let b = Operand {
+            buf: rhs.as_slice(),
+            layout: Layout { rs: n, cs: 1 },
+        };
+        gemm_driver(a, b, out.as_mut_slice(), m, k, n);
+        Ok(())
     }
 
     /// `selfᵀ * rhs` without materializing the transpose.
@@ -57,6 +136,17 @@ impl DenseMatrix {
     /// Used heavily by the Gram-matrix rewrite (`TᵀT`) and gradient
     /// computations (`Xᵀr`).
     pub fn transpose_matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.cols(), rhs.cols());
+        self.transpose_matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// `selfᵀ * rhs` written into the caller-owned `out`
+    /// (`self.cols() × rhs.cols()`, fully overwritten).
+    ///
+    /// # Errors
+    /// Dimension mismatch of the operands or of `out`.
+    pub fn transpose_matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if self.rows() != rhs.rows() {
             return Err(MatrixError::DimensionMismatch {
                 op: "transpose_matmul",
@@ -66,40 +156,68 @@ impl DenseMatrix {
         }
         let (k, m) = self.shape(); // output is m×n
         let n = rhs.cols();
-        let mut out = DenseMatrix::zeros(m, n);
-        // Vector fast path: out += x[l] · row(l) streamed over the rows.
+        check_out_shape("transpose_matmul_into", out, m, n)?;
+        let a_slice = self.as_slice();
+        let o = out.as_mut_slice();
+        // Vector fast path: out[i] = Σ_l A[l,i]·x[l], streamed over rows of
+        // A so the access pattern stays contiguous.
         if n == 1 {
-            let a = self.as_slice();
             let x = rhs.as_slice();
-            let o = out.as_mut_slice();
+            o.fill(0.0);
             for (l, &xl) in x.iter().enumerate() {
                 if xl == 0.0 {
                     continue;
                 }
-                axpy(xl, &a[l * m..(l + 1) * m], o);
+                axpy(xl, &a_slice[l * m..(l + 1) * m], o);
             }
-            return Ok(out);
+            return Ok(());
         }
-        // out[i][j] = Σ_l self[l][i] * rhs[l][j] — accumulate row panels.
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let o = out.as_mut_slice();
-        for l in 0..k {
-            let arow = &a[l * m..(l + 1) * m];
-            let brow = &b[l * n..(l + 1) * n];
-            for (i, &aval) in arow.iter().enumerate() {
-                if aval == 0.0 {
-                    continue;
+        let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+        if n >= NR && flops >= PACK_FLOP_THRESHOLD {
+            let a = Operand {
+                buf: a_slice,
+                layout: Layout { rs: 1, cs: m },
+            };
+            let b = Operand {
+                buf: rhs.as_slice(),
+                layout: Layout { rs: n, cs: 1 },
+            };
+            gemm_driver(a, b, o, m, k, n);
+            return Ok(());
+        }
+        // Small-problem path: row-panel accumulation over chunks of the
+        // output rows (parallel when worthwhile).
+        let b_slice = rhs.as_slice();
+        par_row_chunks(o, n, flops, |i0, chunk| {
+            chunk.fill(0.0);
+            let rows_here = chunk.len() / n;
+            for l in 0..k {
+                let arow = &a_slice[l * m + i0..l * m + i0 + rows_here];
+                let brow = &b_slice[l * n..(l + 1) * n];
+                for (i, &aval) in arow.iter().enumerate() {
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    axpy(aval, brow, &mut chunk[i * n..(i + 1) * n]);
                 }
-                let orow = &mut o[i * n..(i + 1) * n];
-                axpy(aval, brow, orow);
             }
-        }
-        Ok(out)
+        });
+        Ok(())
     }
 
     /// `self * rhsᵀ` without materializing the transpose.
     pub fn matmul_transpose(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.rows(), rhs.rows());
+        self.matmul_transpose_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self * rhsᵀ` written into the caller-owned `out`
+    /// (`self.rows() × rhs.rows()`, fully overwritten).
+    ///
+    /// # Errors
+    /// Dimension mismatch of the operands or of `out`.
+    pub fn matmul_transpose_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if self.cols() != rhs.cols() {
             return Err(MatrixError::DimensionMismatch {
                 op: "matmul_transpose",
@@ -110,19 +228,34 @@ impl DenseMatrix {
         let m = self.rows();
         let n = rhs.rows();
         let k = self.cols();
-        let mut out = DenseMatrix::zeros(m, n);
-        let a = self.as_slice();
-        let b = rhs.as_slice();
+        check_out_shape("matmul_transpose_into", out, m, n)?;
+        let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+        let a_slice = self.as_slice();
+        let b_slice = rhs.as_slice();
         let o = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for (j, oval) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                *oval = dot(arow, brow);
-            }
+        if n >= NR && flops >= PACK_FLOP_THRESHOLD {
+            let a = Operand {
+                buf: a_slice,
+                layout: Layout { rs: k, cs: 1 },
+            };
+            let b = Operand {
+                buf: b_slice,
+                layout: Layout { rs: 1, cs: k },
+            };
+            gemm_driver(a, b, o, m, k, n);
+            return Ok(());
         }
-        Ok(out)
+        // Small-problem path: both operands are row-major over `k`, so
+        // each output cell is one contiguous dot product.
+        par_row_chunks(o, n.max(1), flops, |i0, chunk| {
+            for (i, orow) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+                let arow = &a_slice[(i0 + i) * k..(i0 + i + 1) * k];
+                for (j, oval) in orow.iter_mut().enumerate() {
+                    *oval = dot(arow, &b_slice[j * k..(j + 1) * k]);
+                }
+            }
+        });
+        Ok(())
     }
 
     /// Matrix–vector product `self * v`.
@@ -137,32 +270,218 @@ impl DenseMatrix {
         Ok(self.row_iter().map(|row| dot(row, v)).collect())
     }
 
-    /// Gram matrix `selfᵀ * self`, exploiting symmetry.
+    /// Gram matrix `selfᵀ * self`, exploiting symmetry: only the upper
+    /// triangle is accumulated (row-parallel over output rows), then
+    /// mirrored.
     pub fn gram(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols(), self.cols());
+        self.gram_into(&mut out)
+            .expect("freshly allocated output has the gram shape");
+        out
+    }
+
+    /// [`Self::gram`] written into the caller-owned `out`
+    /// (`cols × cols`, fully overwritten).
+    ///
+    /// # Errors
+    /// Shape mismatch of `out`.
+    pub fn gram_into(&self, out: &mut DenseMatrix) -> Result<()> {
         let (r, c) = self.shape();
-        let mut out = DenseMatrix::zeros(c, c);
+        check_out_shape("gram_into", out, c, c)?;
         let a = self.as_slice();
         let o = out.as_mut_slice();
-        for l in 0..r {
-            let row = &a[l * c..(l + 1) * c];
-            for i in 0..c {
-                let v = row[i];
-                if v == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * c + i..(i + 1) * c];
-                for (off, &rj) in row[i..].iter().enumerate() {
-                    orow[off] += v * rj;
+        // Work estimate: half the full product thanks to symmetry.
+        let flops = r.saturating_mul(c).saturating_mul(c);
+        par_row_chunks(o, c.max(1), flops, |c0, chunk| {
+            chunk.fill(0.0);
+            let cols_here = chunk.len() / c.max(1);
+            for l in 0..r {
+                let row = &a[l * c..(l + 1) * c];
+                for i in c0..c0 + cols_here {
+                    let v = row[i];
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut chunk[(i - c0) * c + i..(i - c0 + 1) * c];
+                    axpy(v, &row[i..], orow);
                 }
             }
-        }
+        });
         // Mirror the upper triangle into the lower one.
         for i in 0..c {
             for j in 0..i {
                 o[i * c + j] = o[j * c + i];
             }
         }
-        out
+        Ok(())
+    }
+}
+
+/// A logical GEMM operand: a flat buffer plus the strides mapping
+/// logical `(i, j)` coordinates into it.
+#[derive(Clone, Copy)]
+struct Operand<'a> {
+    buf: &'a [f64],
+    layout: Layout,
+}
+
+/// Computes `out = A·B` (`out` fully overwritten), choosing between the
+/// packed micro-kernel and the blocked axpy loops, and splitting output
+/// rows across threads when the problem is large enough.
+fn gemm_driver(a: Operand<'_>, b: Operand<'_>, out: &mut [f64], m: usize, k: usize, n: usize) {
+    if n == 0 || m == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    let use_packed = n >= NR && flops >= PACK_FLOP_THRESHOLD;
+    par_row_chunks(out, n, flops, |row0, chunk| {
+        chunk.fill(0.0);
+        let rows_here = chunk.len() / n;
+        if use_packed {
+            packed_gemm(a, b, chunk, row0, rows_here, k, n);
+        } else {
+            axpy_gemm(a, b, chunk, row0, rows_here, k, n);
+        }
+    });
+}
+
+/// Reference path for small problems: cache-blocked `i-k-j` loops,
+/// accumulating `B` rows into `C` rows (no packing).
+fn axpy_gemm(
+    a: Operand<'_>,
+    b: Operand<'_>,
+    out: &mut [f64],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let b_contiguous = b.layout.cs == 1;
+    for kb in (0..k).step_by(KC) {
+        let kmax = (kb + KC).min(k);
+        for i in 0..rows {
+            let crow = &mut out[i * n..(i + 1) * n];
+            for l in kb..kmax {
+                let aval = a.buf[a.layout.at(row0 + i, l)];
+                if aval == 0.0 {
+                    continue;
+                }
+                if b_contiguous {
+                    let brow = &b.buf[b.layout.at(l, 0)..b.layout.at(l, 0) + n];
+                    axpy(aval, brow, crow);
+                } else {
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        *cv += aval * b.buf[b.layout.at(l, j)];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packed macro-kernel: `jc → kb → ib` blocking with `MR × NR`
+/// register tiles (see the module docs).
+fn packed_gemm(
+    a: Operand<'_>,
+    b: Operand<'_>,
+    out: &mut [f64],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    PACK_BUFS.with(|bufs| {
+        let (pack_a, pack_b) = &mut *bufs.borrow_mut();
+        pack_a.resize(MC.div_ceil(MR) * MR * KC, 0.0);
+        pack_b.resize(NC.div_ceil(NR) * NR * KC, 0.0);
+        for jc in (0..n).step_by(NC) {
+            let ncb = (jc + NC).min(n) - jc;
+            let n_panels = ncb.div_ceil(NR);
+            for kb in (0..k).step_by(KC) {
+                let kcb = (kb + KC).min(k) - kb;
+                pack_b_panels(b, kb, kcb, jc, ncb, pack_b);
+                for ib in (0..rows).step_by(MC) {
+                    let mcb = (ib + MC).min(rows) - ib;
+                    let m_panels = mcb.div_ceil(MR);
+                    pack_a_panels(a, row0 + ib, mcb, kb, kcb, pack_a);
+                    for p in 0..m_panels {
+                        let pa = &pack_a[p * MR * kcb..(p + 1) * MR * kcb];
+                        for q in 0..n_panels {
+                            let pb = &pack_b[q * NR * kcb..(q + 1) * NR * kcb];
+                            let mut acc = [[0.0f64; NR]; MR];
+                            micro_kernel(pa, pb, &mut acc);
+                            // Write the valid part of the tile back.
+                            let tile_rows = MR.min(mcb - p * MR);
+                            let tile_cols = NR.min(ncb - q * NR);
+                            for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
+                                let orow_start = (ib + p * MR + r) * n + jc + q * NR;
+                                let orow = &mut out[orow_start..orow_start + tile_cols];
+                                for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
+                                    *o += v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Packs `mc` logical rows × `kc` depth of `A` into column-major
+/// `MR`-row panels (`buf[p·MR·kc + kk·MR + r]`), zero-padding the tail
+/// panel so the micro-kernel never branches on edges.
+fn pack_a_panels(a: Operand<'_>, i0: usize, mc: usize, k0: usize, kc: usize, buf: &mut [f64]) {
+    for p in 0..mc.div_ceil(MR) {
+        let panel = &mut buf[p * MR * kc..(p + 1) * MR * kc];
+        let rows_here = MR.min(mc - p * MR);
+        for (kk, chunk) in panel.chunks_exact_mut(MR).enumerate() {
+            for (r, slot) in chunk.iter_mut().enumerate() {
+                *slot = if r < rows_here {
+                    a.buf[a.layout.at(i0 + p * MR + r, k0 + kk)]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs `kc` depth × `nc` logical columns of `B` into row-major
+/// `NR`-column panels (`buf[q·NR·kc + kk·NR + c]`), zero-padded.
+fn pack_b_panels(b: Operand<'_>, k0: usize, kc: usize, j0: usize, nc: usize, buf: &mut [f64]) {
+    for q in 0..nc.div_ceil(NR) {
+        let panel = &mut buf[q * NR * kc..(q + 1) * NR * kc];
+        let cols_here = NR.min(nc - q * NR);
+        for (kk, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+            for (c, slot) in chunk.iter_mut().enumerate() {
+                *slot = if c < cols_here {
+                    b.buf[b.layout.at(k0 + kk, j0 + q * NR + c)]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The register tile: `acc[r][c] += Σ_kk pa[kk·MR + r] · pb[kk·NR + c]`.
+///
+/// `pa`/`pb` are packed panels of equal depth; the fixed-size loops
+/// vectorize to fused multiply-adds over the whole tile.
+#[inline(always)]
+fn micro_kernel(pa: &[f64], pb: &[f64], acc: &mut [[f64; NR]; MR]) {
+    for (ak, bk) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = ak[r];
+            for (c, slot) in acc_row.iter_mut().enumerate() {
+                *slot += ar * bk[c];
+            }
+        }
     }
 }
 
@@ -179,13 +498,12 @@ pub(crate) fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
 pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
     // Four-way unrolled accumulation: keeps independent dependency chains
     // so the compiler can vectorize.
-    let chunks = x.len() / 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
     let xc = x.chunks_exact(4);
     let yc = y.chunks_exact(4);
     let xr = xc.remainder();
     let yr = yc.remainder();
-    for (a, b) in xc.zip(yc).take(chunks) {
+    for (a, b) in xc.zip(yc) {
         s0 += a[0] * b[0];
         s1 += a[1] * b[1];
         s2 += a[2] * b[2];
@@ -198,53 +516,21 @@ pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
     s0 + s1 + s2 + s3 + tail
 }
 
-/// Sequential blocked GEMM: `c += a * b` where `a` is `m×k`, `b` is `k×n`.
-fn matmul_block(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    if n == 0 || k == 0 {
-        return;
-    }
-    for kb in (0..k).step_by(KC) {
-        let kmax = (kb + KC).min(k);
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for l in kb..kmax {
-                let aval = arow[l];
-                if aval == 0.0 {
-                    continue;
-                }
-                axpy(aval, &b[l * n..(l + 1) * n], crow);
-            }
-        }
-    }
+/// Re-exported so benchmarks can report the configured thread count.
+pub fn kernel_threads() -> usize {
+    available_threads()
 }
 
-/// Parallel GEMM: splits the rows of `a` (and `c`) across threads.
-fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, threads: usize) {
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let rows_per = m.div_ceil(threads);
-    let a_slice = a.as_slice();
-    let b_slice = b.as_slice();
-    let chunks: Vec<(usize, &mut [f64])> = out
-        .as_mut_slice()
-        .chunks_mut(rows_per * n)
-        .enumerate()
-        .collect();
-    std::thread::scope(|scope| {
-        for (idx, chunk) in chunks {
-            let row_start = idx * rows_per;
-            let rows_here = chunk.len() / n;
-            let a_part = &a_slice[row_start * k..(row_start + rows_here) * k];
-            scope.spawn(move || {
-                matmul_block(a_part, b_slice, chunk, rows_here, k, n);
-            });
-        }
-    });
+/// Blocking parameters of the packed kernel, for diagnostics and
+/// benchmark metadata: `(MR, NR, MC, KC, NC)`.
+pub const fn kernel_blocking() -> (usize, usize, usize, usize, usize) {
+    (MR, NR, MC, KC, NC)
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+/// FLOP threshold above which kernels may go parallel (re-exported for
+/// benchmark sizing).
+pub const fn parallel_flop_threshold() -> usize {
+    PAR_WORK_THRESHOLD
 }
 
 #[cfg(test)]
@@ -308,14 +594,40 @@ mod tests {
     }
 
     #[test]
+    fn matmul_packed_path_matches_naive() {
+        // Big enough to cross PACK_FLOP_THRESHOLD, with awkward edge
+        // sizes in every dimension (not multiples of MR/NR/KC).
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(67, 130, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(130, 41, -1.0, 1.0, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let slow = matmul_naive(&a, &b);
+        assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
     fn matmul_parallel_path_matches_naive() {
-        // Big enough to cross PAR_FLOP_THRESHOLD: 2*200*200*120 = 9.6e6.
+        // Big enough to cross the parallel threshold: 2*200*200*120 = 9.6e6.
         let mut rng = rand::thread_rng();
         let a = DenseMatrix::random_uniform(200, 120, -1.0, 1.0, &mut rng);
         let b = DenseMatrix::random_uniform(120, 200, -1.0, 1.0, &mut rng);
         let fast = a.matmul(&b).unwrap();
         let slow = matmul_naive(&a, &b);
         assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_overwrites() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(9, 7, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(7, 5, -1.0, 1.0, &mut rng);
+        // Dirty output buffer: matmul_into must fully overwrite it.
+        let mut out = DenseMatrix::filled(9, 5, 123.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert!(out.approx_eq(&matmul_naive(&a, &b), 1e-10));
+        // Shape-checked.
+        let mut wrong = DenseMatrix::zeros(9, 4);
+        assert!(a.matmul_into(&b, &mut wrong).is_err());
     }
 
     #[test]
@@ -330,6 +642,30 @@ mod tests {
     }
 
     #[test]
+    fn transpose_matmul_packed_path_matches_explicit() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(150, 90, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(150, 33, -1.0, 1.0, &mut rng);
+        let fused = a.transpose_matmul(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn transpose_matmul_into_overwrites_dirty_buffer() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(12, 6, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(12, 3, -1.0, 1.0, &mut rng);
+        let mut out = DenseMatrix::filled(6, 3, -7.0);
+        a.transpose_matmul_into(&b, &mut out).unwrap();
+        assert!(out.approx_eq(&a.transpose().matmul(&b).unwrap(), 1e-10));
+        let mut y = DenseMatrix::filled(6, 1, 9.0);
+        let x = DenseMatrix::random_uniform(12, 1, -1.0, 1.0, &mut rng);
+        a.transpose_matmul_into(&x, &mut y).unwrap();
+        assert!(y.approx_eq(&a.transpose().matmul(&x).unwrap(), 1e-10));
+    }
+
+    #[test]
     fn matmul_transpose_matches_explicit() {
         let mut rng = rand::thread_rng();
         let a = DenseMatrix::random_uniform(9, 14, -1.0, 1.0, &mut rng);
@@ -338,6 +674,16 @@ mod tests {
         let explicit = a.matmul(&b.transpose()).unwrap();
         assert!(fused.approx_eq(&explicit, 1e-10));
         assert!(a.matmul_transpose(&DenseMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_packed_path_matches_explicit() {
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(70, 110, -1.0, 1.0, &mut rng);
+        let b = DenseMatrix::random_uniform(45, 110, -1.0, 1.0, &mut rng);
+        let fused = a.matmul_transpose(&b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-9));
     }
 
     #[test]
@@ -360,12 +706,29 @@ mod tests {
     }
 
     #[test]
+    fn gram_parallel_path_matches_explicit() {
+        // c large enough that r·c² crosses the parallel threshold.
+        let mut rng = rand::thread_rng();
+        let a = DenseMatrix::random_uniform(120, 200, -1.0, 1.0, &mut rng);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(g.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
     fn zero_sized_products() {
         let a = DenseMatrix::zeros(0, 3);
         let b = DenseMatrix::zeros(3, 4);
         assert_eq!(a.matmul(&b).unwrap().shape(), (0, 4));
         let c = DenseMatrix::zeros(4, 0);
         assert_eq!(b.matmul(&c).unwrap().shape(), (3, 0));
+        // k == 0: the product is all zeros, and `_into` must clear dirty
+        // output buffers rather than leave stale values behind.
+        let e = DenseMatrix::zeros(3, 0);
+        let f = DenseMatrix::zeros(0, 4);
+        let mut out = DenseMatrix::filled(3, 4, 5.0);
+        e.matmul_into(&f, &mut out).unwrap();
+        assert!(out.approx_eq(&DenseMatrix::zeros(3, 4), 1e-12));
     }
 
     #[test]
@@ -385,6 +748,22 @@ mod tests {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let a = DenseMatrix::random_uniform(m, k, -3.0, 3.0, &mut rng);
             let b = DenseMatrix::random_uniform(k, n, -3.0, 3.0, &mut rng);
+            let fast = a.matmul(&b).unwrap();
+            let slow = matmul_naive(&a, &b);
+            prop_assert!(fast.approx_eq(&slow, 1e-9));
+        }
+
+        #[test]
+        fn prop_packed_kernel_matches_naive_at_edges(
+            // Sizes straddling the micro/macro tile boundaries.
+            dm in 0usize..6, dk in 0usize..6, dn in 0usize..6,
+            seed in 0u64..u64::MAX,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (m, k, n) = (MC + dm - 3, KC + dk - 3, NR * 4 + dn - 3);
+            let a = DenseMatrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
+            let b = DenseMatrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
             let fast = a.matmul(&b).unwrap();
             let slow = matmul_naive(&a, &b);
             prop_assert!(fast.approx_eq(&slow, 1e-9));
@@ -418,6 +797,26 @@ mod tests {
             let lhs = a.matmul(&b).unwrap().transpose();
             let rhs = b.transpose().matmul(&a.transpose()).unwrap();
             prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+        }
+
+        #[test]
+        fn prop_fused_transposes_match_explicit(
+            m in 1usize..40, k in 1usize..40, n in 1usize..40,
+            seed in 0u64..u64::MAX,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = DenseMatrix::random_uniform(m, k, -2.0, 2.0, &mut rng);
+            let b = DenseMatrix::random_uniform(m, n, -2.0, 2.0, &mut rng);
+            prop_assert!(a
+                .transpose_matmul(&b)
+                .unwrap()
+                .approx_eq(&a.transpose().matmul(&b).unwrap(), 1e-9));
+            let c = DenseMatrix::random_uniform(n, k, -2.0, 2.0, &mut rng);
+            prop_assert!(a
+                .matmul_transpose(&c)
+                .unwrap()
+                .approx_eq(&a.matmul(&c.transpose()).unwrap(), 1e-9));
         }
     }
 }

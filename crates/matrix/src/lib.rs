@@ -14,8 +14,42 @@
 //!   [`DenseMatrix::scatter_rows_add`], …) that apply the *compressed*
 //!   metadata vectors `CMₖ`/`CIₖ` without ever building the sparse
 //!   matrices — the physical-level implementation suggested in §III-D.
+//! * A [`Workspace`] scratch-buffer pool plus `_into` kernel variants,
+//!   so iterative training loops run allocation-free in steady state.
 //!
 //! Everything is implemented from scratch; no external BLAS is required.
+//!
+//! # Kernel architecture
+//!
+//! Dense multiplication runs through a packed, register-blocked
+//! micro-kernel (`MR×NR = 4×8` register tiles over `MC/KC/NC =
+//! 64/256/512` cache blocks; see `gemm.rs` for the full description).
+//! Packing is stride-parameterized, so `A·B`, `Aᵀ·B` and `A·Bᵀ` all
+//! share one kernel and none of them materializes a transpose. All
+//! multiplication kernels — including [`DenseMatrix::gram`] — split
+//! their *output rows* into disjoint chunks across threads once the
+//! problem exceeds a FLOP threshold; inputs are shared read-only, so no
+//! synchronization is needed beyond the scoped join.
+//!
+//! # `Workspace` / `_into` conventions
+//!
+//! Every allocation in a hot loop is a bug. The conventions:
+//!
+//! 1. For any producing kernel `op(&self, …) -> Result<DenseMatrix>`
+//!    there is an `op_into(&self, …, out: &mut DenseMatrix)` variant
+//!    that **fully overwrites** a caller-owned, correctly-shaped `out`
+//!    (shape-checked, dirty buffers are fine) and never allocates for
+//!    the output.
+//! 2. Scratch space comes from a [`Workspace`]: `take`/`take_matrix`
+//!    check zeroed buffers out of a capacity-tracked pool,
+//!    `give`/`give_matrix` return them. A loop that takes and gives the
+//!    same shapes every iteration allocates only on its first pass —
+//!    [`Workspace::fresh_allocations`] makes that assertable in tests.
+//! 3. Kernels that receive a workspace return every buffer they took
+//!    before returning, even on error paths that occur after checkout.
+//! 4. In-place updates (`add_assign`, [`DenseMatrix::axpy_assign`],
+//!    [`DenseMatrix::sub_assign`], `scale_inplace`) are preferred over
+//!    `_into` when the destination is also an operand.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,14 +58,19 @@ mod dense;
 mod error;
 mod gemm;
 mod ops;
+mod par;
 mod select;
 mod solve;
 mod sparse;
+mod workspace;
 
 pub use dense::DenseMatrix;
 pub use error::{MatrixError, Result};
+pub use gemm::{kernel_blocking, kernel_threads, parallel_flop_threshold};
+pub use par::{par_row_chunks, par_row_chunks_with};
 pub use select::{selection_matrix, NO_MATCH};
 pub use sparse::{CooMatrix, CsrMatrix};
+pub use workspace::Workspace;
 
 /// Tolerance used throughout the workspace when comparing floating point
 /// results of algebraically-equivalent computation strategies.

@@ -3,7 +3,12 @@
 use crate::{DenseMatrix, MatrixError, Result};
 
 impl DenseMatrix {
-    fn zip_with(&self, other: &DenseMatrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<DenseMatrix> {
+    fn zip_with(
+        &self,
+        other: &DenseMatrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<DenseMatrix> {
         if self.shape() != other.shape() {
             return Err(MatrixError::DimensionMismatch {
                 op,
@@ -42,6 +47,49 @@ impl DenseMatrix {
     /// semantics apply).
     pub fn div_elem(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         self.zip_with(other, "div_elem", |a, b| a / b)
+    }
+
+    /// Element-wise difference written into the caller-owned `out`
+    /// (fully overwritten; see the crate docs for `_into` conventions).
+    ///
+    /// # Errors
+    /// Shape mismatch of either operand or `out`.
+    pub fn sub_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        if self.shape() != other.shape() || self.shape() != out.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "sub_into",
+                lhs: self.shape(),
+                rhs: if self.shape() != other.shape() {
+                    other.shape()
+                } else {
+                    out.shape()
+                },
+            });
+        }
+        for ((o, &a), &b) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.as_slice())
+            .zip(other.as_slice())
+        {
+            *o = a - b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self -= other`.
+    pub fn sub_assign(&mut self, other: &DenseMatrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "sub_assign",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a -= b;
+        }
+        Ok(())
     }
 
     /// In-place `self += other`.
@@ -188,8 +236,7 @@ mod tests {
     #[test]
     fn hadamard_with_binary_mask_zeros_entries() {
         let a = sample();
-        let mask =
-            DenseMatrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]]).unwrap();
+        let mask = DenseMatrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]]).unwrap();
         let masked = a.hadamard(&mask).unwrap();
         assert_eq!(masked.row(0), &[1.0, 0.0, 3.0]);
         assert_eq!(masked.row(1), &[0.0, 4.0, 0.0]);
@@ -203,6 +250,25 @@ mod tests {
         assert!(d.get(0, 0).is_infinite());
         assert!(d.get(0, 1).is_nan());
         assert!(d.has_non_finite());
+    }
+
+    #[test]
+    fn sub_into_and_sub_assign_match_sub() {
+        let a = sample();
+        let b = a.scale(0.25);
+        let expected = a.sub(&b).unwrap();
+        let mut out = DenseMatrix::filled(2, 3, 99.0); // dirty buffer
+        a.sub_into(&b, &mut out).unwrap();
+        assert!(out.approx_eq(&expected, 1e-12));
+        let mut c = a.clone();
+        c.sub_assign(&b).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+        // Shape checks.
+        let wrong = DenseMatrix::zeros(3, 2);
+        assert!(a.sub_into(&wrong, &mut out).is_err());
+        let mut small = DenseMatrix::zeros(1, 1);
+        assert!(a.sub_into(&b, &mut small).is_err());
+        assert!(c.sub_assign(&wrong).is_err());
     }
 
     #[test]

@@ -42,7 +42,8 @@ impl DenseMatrix {
                     shape: self.shape(),
                 });
             }
-            out.row_mut(i).copy_from_slice(&self.as_slice()[src * cols..(src + 1) * cols]);
+            out.row_mut(i)
+                .copy_from_slice(&self.as_slice()[src * cols..(src + 1) * cols]);
         }
         Ok(out)
     }
@@ -55,15 +56,32 @@ impl DenseMatrix {
     /// Returns an error if `idx.len() != self.rows()` or an index is out of
     /// range for `out_rows`.
     pub fn scatter_rows_add(&self, idx: &[i64], out_rows: usize) -> Result<DenseMatrix> {
-        if idx.len() != self.rows() {
+        let mut out = DenseMatrix::zeros(out_rows, self.cols());
+        self.scatter_rows_add_into(idx, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::scatter_rows_add`] into a caller-owned output matrix
+    /// (fully overwritten; `out.rows()` plays the role of `out_rows`).
+    ///
+    /// # Errors
+    /// As [`Self::scatter_rows_add`], plus a column-count mismatch
+    /// between `self` and `out`.
+    pub fn scatter_rows_add_into(&self, idx: &[i64], out: &mut DenseMatrix) -> Result<()> {
+        if idx.len() != self.rows() || out.cols() != self.cols() {
             return Err(MatrixError::DimensionMismatch {
                 op: "scatter_rows_add",
                 lhs: self.shape(),
-                rhs: (idx.len(), 1),
+                rhs: if idx.len() != self.rows() {
+                    (idx.len(), 1)
+                } else {
+                    out.shape()
+                },
             });
         }
         let cols = self.cols();
-        let mut out = DenseMatrix::zeros(out_rows, cols);
+        let out_rows = out.rows();
+        out.as_mut_slice().fill(0.0);
         // Column fast path: one indexed add per row.
         if cols == 1 {
             let src = self.as_slice();
@@ -81,7 +99,7 @@ impl DenseMatrix {
                 }
                 dst_col[dst] += v;
             }
-            return Ok(out);
+            return Ok(());
         }
         for (i, &dst) in idx.iter().enumerate() {
             if dst < 0 {
@@ -100,7 +118,7 @@ impl DenseMatrix {
                 *d += s;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Builds a new matrix whose column `j` is `self`'s column `idx[j]`,
@@ -225,6 +243,17 @@ mod tests {
         let s = m.scatter_rows_add(&[0, 0, NO_MATCH], 2).unwrap();
         assert_eq!(s.row(0), &[3.0, 3.0]);
         assert_eq!(s.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_rows_add_into_overwrites_dirty_buffer() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        let mut out = DenseMatrix::filled(3, 2, 9.0);
+        m.scatter_rows_add_into(&[2, 2], &mut out).unwrap();
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        assert_eq!(out.row(2), &[3.0, 3.0]);
+        let mut wrong_cols = DenseMatrix::zeros(3, 1);
+        assert!(m.scatter_rows_add_into(&[2, 2], &mut wrong_cols).is_err());
     }
 
     #[test]

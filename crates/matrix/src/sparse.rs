@@ -329,6 +329,59 @@ mod tests {
     }
 
     #[test]
+    fn to_csr_accumulates_duplicates_in_first_row() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(0, 1, 3.0).unwrap();
+        coo.push(0, 1, -1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.to_dense().get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn to_csr_does_not_merge_same_column_across_rows() {
+        // (0, 1) then (1, 1): same column index adjacent in the sorted
+        // entry list, but in different rows — the `indices.len() >
+        // indptr[r]` guard must keep them apart.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 5.0).unwrap();
+        coo.push(1, 1, 7.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        let d = csr.to_dense();
+        assert_eq!(d.get(0, 1), 5.0);
+        assert_eq!(d.get(1, 1), 7.0);
+    }
+
+    #[test]
+    fn to_csr_all_duplicate_input_collapses_to_one_entry() {
+        let mut coo = CooMatrix::new(3, 3);
+        for _ in 0..10 {
+            coo.push(2, 0, 1.5).unwrap();
+        }
+        assert_eq!(coo.nnz(), 10);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.to_dense().get(2, 0), 15.0);
+    }
+
+    #[test]
+    fn to_csr_duplicates_straddling_empty_rows() {
+        let mut coo = CooMatrix::new(4, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(3, 0, 2.0).unwrap();
+        coo.push(3, 0, 2.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        let d = csr.to_dense();
+        assert_eq!(d.get(0, 0), 2.0);
+        assert_eq!(d.get(3, 0), 4.0);
+        assert_eq!(d.get(1, 0), 0.0);
+    }
+
+    #[test]
     fn coo_drops_explicit_zeros() {
         let mut coo = CooMatrix::new(2, 2);
         coo.push(0, 0, 0.0).unwrap();
@@ -368,9 +421,7 @@ mod tests {
         // Column out of range.
         assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // Unsorted columns within a row.
-        assert!(
-            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
     }
 
     #[test]
@@ -394,7 +445,9 @@ mod tests {
         let sparse_result = csr.transpose_matmul_dense(&x).unwrap();
         let dense_result = dense.transpose().matmul(&x).unwrap();
         assert!(sparse_result.approx_eq(&dense_result, 1e-12));
-        assert!(csr.transpose_matmul_dense(&DenseMatrix::zeros(2, 2)).is_err());
+        assert!(csr
+            .transpose_matmul_dense(&DenseMatrix::zeros(2, 2))
+            .is_err());
     }
 
     #[test]
@@ -442,6 +495,36 @@ mod tests {
             let csr = CsrMatrix::from_dense(&dense);
             prop_assert_eq!(csr.to_dense(), dense.clone());
             prop_assert_eq!(csr.nnz(), dense.nnz());
+        }
+
+        #[test]
+        fn prop_to_csr_accumulates_duplicates(
+            rows in 1usize..6, cols in 1usize..6, entries in 1usize..24,
+            seed in 0u64..u64::MAX,
+        ) {
+            // The duplicate-accumulation guard in `to_csr`
+            // (`indptr.len() == r + 1 && indices.len() > indptr[r]`) is
+            // subtle: duplicates in the first row, duplicates straddling
+            // row boundaries and all-duplicate inputs must all collapse
+            // into single CSR entries whose values are the sums. The
+            // dense reference accumulates unconditionally, so comparing
+            // against it covers every case the guard must handle.
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut coo = CooMatrix::new(rows, cols);
+            let mut reference = DenseMatrix::zeros(rows, cols);
+            for _ in 0..entries {
+                // Small coordinate space forces frequent duplicates.
+                let r = rng.gen_range(0..rows);
+                let c = rng.gen_range(0..cols);
+                let v = rng.gen_range(-3.0..3.0);
+                coo.push(r, c, v).unwrap();
+                reference.set(r, c, reference.get(r, c) + v);
+            }
+            let csr = coo.to_csr();
+            prop_assert!(csr.to_dense().approx_eq(&reference, 1e-12));
+            // No coordinate may appear twice after accumulation.
+            prop_assert!(csr.nnz() <= rows * cols);
         }
 
         #[test]

@@ -1,0 +1,185 @@
+//! Reusable scratch buffers for allocation-free hot loops.
+//!
+//! Gradient-descent training and the compressed factorized operators
+//! need the same intermediate shapes on every epoch / for every source.
+//! A [`Workspace`] is an explicit pool those intermediates are checked
+//! out of and returned to, so steady-state iterations perform **zero
+//! fresh heap allocations** once the pool is warm.
+//!
+//! # Contract
+//!
+//! * [`Workspace::take`] returns a zeroed buffer of exactly the
+//!   requested length, reusing the smallest pooled buffer whose
+//!   capacity fits; only a pool miss allocates (and increments
+//!   [`Workspace::fresh_allocations`], which tests use to assert
+//!   steady-state behaviour).
+//! * [`Workspace::give`] returns a buffer to the pool; shape is
+//!   irrelevant, only capacity is tracked.
+//! * `*_into` kernels never allocate for their *output* (the caller
+//!   owns it); they may check scratch out of a workspace they are
+//!   handed, and always return it before they come back.
+//! * Thread-spawn bookkeeping inside the parallel kernels is outside
+//!   this contract: the pool tracks matrix-sized buffers, which are
+//!   what dominate allocation traffic per epoch.
+
+use crate::{DenseMatrix, MatrixError, Result};
+
+/// Capacity-tracked pool of `f64` buffers (see the module docs).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+    fresh_allocations: usize,
+}
+
+impl Workspace {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a zeroed buffer of length `len`.
+    ///
+    /// Reuses the best-fitting pooled buffer; allocates only when no
+    /// pooled buffer has sufficient capacity.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        // Best fit: smallest capacity that still holds `len`.
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, buf) in self.pool.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.fresh_allocations += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn give(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Checks out a zeroed `rows × cols` matrix.
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_vec(rows, cols, self.take(rows * cols))
+            .expect("workspace buffer has exactly rows*cols elements")
+    }
+
+    /// Returns a matrix's buffer to the pool.
+    pub fn give_matrix(&mut self, m: DenseMatrix) {
+        self.give(m.into_vec());
+    }
+
+    /// Number of pool misses since construction — i.e. how many fresh
+    /// heap allocations the workspace performed. Constant across
+    /// iterations once a loop reaches steady state.
+    pub fn fresh_allocations(&self) -> usize {
+        self.fresh_allocations
+    }
+
+    /// Number of buffers currently checked in.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+/// Validates that `out` has the expected shape for an `_into` kernel.
+pub(crate) fn check_out_shape(
+    op: &'static str,
+    out: &DenseMatrix,
+    rows: usize,
+    cols: usize,
+) -> Result<()> {
+    if out.shape() != (rows, cols) {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: (rows, cols),
+            rhs: out.shape(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_exact_length() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(5);
+        assert_eq!(buf, vec![0.0; 5]);
+        buf[0] = 3.0;
+        ws.give(buf);
+        let again = ws.take(4);
+        assert_eq!(again, vec![0.0; 4]); // stale contents cleared
+    }
+
+    #[test]
+    fn pool_hit_avoids_fresh_allocation() {
+        let mut ws = Workspace::new();
+        let buf = ws.take(100);
+        assert_eq!(ws.fresh_allocations(), 1);
+        ws.give(buf);
+        let buf = ws.take(64); // fits in the pooled capacity
+        assert_eq!(ws.fresh_allocations(), 1);
+        ws.give(buf);
+        let _big = ws.take(1000); // forced miss
+        assert_eq!(ws.fresh_allocations(), 2);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let small = ws.take(10);
+        let large = ws.take(1000);
+        ws.give(small);
+        ws.give(large);
+        let buf = ws.take(8);
+        assert!(buf.capacity() < 1000, "picked the 10-cap buffer");
+        ws.give(buf);
+        assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let mut ws = Workspace::new();
+        let m = ws.take_matrix(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        ws.give_matrix(m);
+        let m2 = ws.take_matrix(2, 6);
+        assert_eq!(ws.fresh_allocations(), 1);
+        assert_eq!(m2.shape(), (2, 6));
+    }
+
+    #[test]
+    fn steady_state_loop_stops_allocating() {
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let a = ws.take_matrix(7, 5);
+            let b = ws.take_matrix(5, 1);
+            ws.give_matrix(a);
+            ws.give_matrix(b);
+        }
+        let after_warmup = ws.fresh_allocations();
+        for _ in 0..100 {
+            let a = ws.take_matrix(7, 5);
+            let b = ws.take_matrix(5, 1);
+            ws.give_matrix(a);
+            ws.give_matrix(b);
+        }
+        assert_eq!(ws.fresh_allocations(), after_warmup);
+    }
+}

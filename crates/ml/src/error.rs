@@ -39,7 +39,10 @@ impl fmt::Display for MlError {
                 what,
                 expected,
                 found,
-            } => write!(f, "shape mismatch in {what}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "shape mismatch in {what}: expected {expected}, found {found}"
+            ),
             MlError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             MlError::NonFiniteInput(what) => write!(f, "non-finite values in {what}"),
             MlError::Diverged { epoch } => write!(f, "training diverged at epoch {epoch}"),
@@ -70,7 +73,9 @@ mod tests {
     #[test]
     fn display_and_conversions() {
         assert!(MlError::NotFitted.to_string().contains("not been fitted"));
-        assert!(MlError::Diverged { epoch: 3 }.to_string().contains("epoch 3"));
+        assert!(MlError::Diverged { epoch: 3 }
+            .to_string()
+            .contains("epoch 3"));
         let e: MlError = amalur_matrix::MatrixError::Singular.into();
         assert!(matches!(e, MlError::Compute(_)));
     }

@@ -14,7 +14,7 @@
 
 use crate::{MlError, Result};
 use amalur_factorize::LinOps;
-use amalur_matrix::DenseMatrix;
+use amalur_matrix::{DenseMatrix, Workspace};
 use rand::SeedableRng;
 
 /// Hyper-parameters for [`Gnmf`].
@@ -66,6 +66,16 @@ impl Gnmf {
     /// # Errors
     /// [`MlError::InvalidConfig`] for rank 0 or rank > min(n, d).
     pub fn fit<L: LinOps>(&mut self, x: &L) -> Result<()> {
+        let mut ws = Workspace::new();
+        self.fit_with_workspace(x, &mut ws)
+    }
+
+    /// [`Self::fit`] drawing every per-iteration intermediate from `ws`
+    /// (allocation-free multiplicative updates once the pool is warm).
+    ///
+    /// # Errors
+    /// As [`Self::fit`].
+    pub fn fit_with_workspace<L: LinOps>(&mut self, x: &L, ws: &mut Workspace) -> Result<()> {
         let n = x.n_rows();
         let d = x.n_cols();
         let r = self.config.rank;
@@ -79,37 +89,65 @@ impl Gnmf {
         let mut w = DenseMatrix::random_uniform(n, r, 0.1, 1.0, &mut rng);
         let mut h = DenseMatrix::random_uniform(r, d, 0.1, 1.0, &mut rng);
         let t_norm_sq: f64 = x.row_norms_sq().iter().sum();
+        // Reusable buffers for every shape the update loop produces.
+        let mut dr = ws.take_matrix(d, r); // Tᵀ·W
+        let mut wt_t = ws.take_matrix(r, d); // (Tᵀ·W)ᵀ
+        let mut wtw = ws.take_matrix(r, r);
+        let mut denom_h = ws.take_matrix(r, d);
+        let mut h_t = ws.take_matrix(d, r);
+        let mut t_ht = ws.take_matrix(n, r);
+        let mut hht = ws.take_matrix(r, r);
+        let mut denom_w = ws.take_matrix(n, r);
         self.loss_history.clear();
-        for _ in 0..self.config.iters {
-            // H update: H ∘ (WᵀT) / (WᵀW H)
-            let wt_t = x.t_mul(&w)?.transpose(); // r × d
-            let wtw = w.gram(); // r × r
-            let denom_h = wtw.matmul(&h)?;
-            h = update(&h, &wt_t, &denom_h)?;
-            // W update: W ∘ (THᵀ) / (W (H Hᵀ))
-            let t_ht = x.mul_right(&h.transpose())?; // n × r
-            let hht = h.matmul_transpose(&h)?; // r × r
-            let denom_w = w.matmul(&hht)?;
-            w = update(&w, &t_ht, &denom_w)?;
-            // Loss: ‖T‖² − 2·tr(Hᵀ(WᵀT)) + tr((WᵀW)(HHᵀ))
-            let wt_t2 = x.t_mul(&w)?.transpose();
-            let cross: f64 = wt_t2
-                .as_slice()
-                .iter()
-                .zip(h.as_slice())
-                .map(|(&a, &b)| a * b)
-                .sum();
-            let wtw2 = w.gram();
-            let hht2 = h.matmul_transpose(&h)?;
-            let quad: f64 = wtw2
-                .as_slice()
-                .iter()
-                .zip(hht2.transpose().as_slice())
-                .map(|(&a, &b)| a * b)
-                .sum();
-            let loss = (t_norm_sq - 2.0 * cross + quad).max(0.0);
-            self.loss_history.push(loss);
-        }
+        // Fallible body runs in a closure so the checked-out buffers are
+        // returned to the pool on every exit path (workspace contract).
+        let outcome = (|| -> Result<()> {
+            for _ in 0..self.config.iters {
+                // H update: H ∘ (WᵀT) / (WᵀW H)
+                x.t_mul_into(&w, &mut dr, ws)?; // d × r
+                dr.transpose_into(&mut wt_t)?; // r × d
+                w.gram_into(&mut wtw)?; // r × r
+                wtw.matmul_into(&h, &mut denom_h)?;
+                update_inplace(&mut h, &wt_t, &denom_h);
+                // W update: W ∘ (THᵀ) / (W (H Hᵀ))
+                h.transpose_into(&mut h_t)?;
+                x.mul_right_into(&h_t, &mut t_ht, ws)?; // n × r
+                h.matmul_transpose_into(&h, &mut hht)?; // r × r
+                w.matmul_into(&hht, &mut denom_w)?;
+                update_inplace(&mut w, &t_ht, &denom_w);
+                // Loss: ‖T‖² − 2·tr(Hᵀ(WᵀT)) + tr((WᵀW)(HHᵀ))
+                x.t_mul_into(&w, &mut dr, ws)?;
+                dr.transpose_into(&mut wt_t)?;
+                let cross: f64 = wt_t
+                    .as_slice()
+                    .iter()
+                    .zip(h.as_slice())
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                w.gram_into(&mut wtw)?;
+                h.matmul_transpose_into(&h, &mut hht)?;
+                // Both factors are symmetric, so tr((WᵀW)(HHᵀ)) is their
+                // element-wise product summed.
+                let quad: f64 = wtw
+                    .as_slice()
+                    .iter()
+                    .zip(hht.as_slice())
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                let loss = (t_norm_sq - 2.0 * cross + quad).max(0.0);
+                self.loss_history.push(loss);
+            }
+            Ok(())
+        })();
+        ws.give_matrix(dr);
+        ws.give_matrix(wt_t);
+        ws.give_matrix(wtw);
+        ws.give_matrix(denom_h);
+        ws.give_matrix(h_t);
+        ws.give_matrix(t_ht);
+        ws.give_matrix(hht);
+        ws.give_matrix(denom_w);
+        outcome?;
         self.w = Some(w);
         self.h = Some(h);
         Ok(())
@@ -141,10 +179,18 @@ impl Gnmf {
     }
 }
 
-/// Element-wise multiplicative update `base ∘ numer / (denom + ε)`.
-fn update(base: &DenseMatrix, numer: &DenseMatrix, denom: &DenseMatrix) -> Result<DenseMatrix> {
-    let scale = numer.div_elem(&denom.map(|v| v + EPS))?;
-    Ok(base.hadamard(&scale)?)
+/// Element-wise multiplicative update `base ← base ∘ numer / (denom + ε)`.
+fn update_inplace(base: &mut DenseMatrix, numer: &DenseMatrix, denom: &DenseMatrix) {
+    debug_assert_eq!(base.shape(), numer.shape());
+    debug_assert_eq!(base.shape(), denom.shape());
+    for ((b, &nv), &dv) in base
+        .as_mut_slice()
+        .iter_mut()
+        .zip(numer.as_slice())
+        .zip(denom.as_slice())
+    {
+        *b *= nv / (dv + EPS);
+    }
 }
 
 #[cfg(test)]
@@ -206,8 +252,20 @@ mod tests {
     #[test]
     fn invalid_rank() {
         let t = low_rank(5, 4, 5);
-        assert!(Gnmf::new(GnmfConfig { rank: 0, iters: 1, seed: 0 }).fit(&t).is_err());
-        assert!(Gnmf::new(GnmfConfig { rank: 10, iters: 1, seed: 0 }).fit(&t).is_err());
+        assert!(Gnmf::new(GnmfConfig {
+            rank: 0,
+            iters: 1,
+            seed: 0
+        })
+        .fit(&t)
+        .is_err());
+        assert!(Gnmf::new(GnmfConfig {
+            rank: 10,
+            iters: 1,
+            seed: 0
+        })
+        .fit(&t)
+        .is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::{MlError, Result};
 use amalur_factorize::LinOps;
-use amalur_matrix::DenseMatrix;
+use amalur_matrix::{DenseMatrix, Workspace};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -64,6 +64,20 @@ impl KMeans {
     /// # Errors
     /// [`MlError::InvalidConfig`] for `k == 0` or `k > n_rows`.
     pub fn fit<L: LinOps>(&mut self, x: &L) -> Result<Vec<usize>> {
+        let mut ws = Workspace::new();
+        self.fit_with_workspace(x, &mut ws)
+    }
+
+    /// [`Self::fit`] drawing every per-iteration intermediate from `ws`
+    /// (allocation-free Lloyd iterations once the pool is warm).
+    ///
+    /// # Errors
+    /// As [`Self::fit`].
+    pub fn fit_with_workspace<L: LinOps>(
+        &mut self,
+        x: &L,
+        ws: &mut Workspace,
+    ) -> Result<Vec<usize>> {
         let n = x.n_rows();
         let d = x.n_cols();
         let k = self.config.k;
@@ -72,74 +86,98 @@ impl KMeans {
                 "k = {k} must be in 1..={n}"
             )));
         }
-        // Initialize centroids from k distinct rows. Rows are extracted
-        // via mul_right with one-hot columns to stay backend-agnostic...
-        // cheaper: use t_mul with one-hot? Row extraction = eᵢᵀ·T, i.e.
-        // (Tᵀ·eᵢ)ᵀ — one t_mul with a n×k one-hot matrix fetches all k.
+        // Initialize centroids from k distinct rows. Row extraction is
+        // eᵢᵀ·T, i.e. (Tᵀ·eᵢ)ᵀ — one t_mul with a n×k one-hot matrix
+        // fetches all k, staying backend-agnostic.
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
         let mut indices: Vec<usize> = (0..n).collect();
         indices.shuffle(&mut rng);
         let chosen = &indices[..k];
-        let mut onehot = DenseMatrix::zeros(n, k);
+        // Reusable buffers: the one-hot/assignment matrix (n×k), the
+        // d×k product of t_mul, its k×d transpose, the n×k cross terms
+        // and the double-buffered centroids.
+        let mut onehot = ws.take_matrix(n, k);
+        let mut dk = ws.take_matrix(d, k);
+        let mut cross = ws.take_matrix(n, k);
+        let mut centroids_t = ws.take_matrix(d, k);
+        let mut new_centroids = ws.take_matrix(k, d);
         for (c, &row) in chosen.iter().enumerate() {
             onehot.set(row, c, 1.0);
         }
-        let mut centroids = x.t_mul(&onehot)?.transpose(); // k × d
-
+        let mut centroids = DenseMatrix::zeros(k, d);
         let row_norms = x.row_norms_sq();
         let mut assignments = vec![0usize; n];
-        for iter in 0..self.config.max_iters {
-            // Cross terms: T · centroidsᵀ  (n × k).
-            let cross = x.mul_right(&centroids.transpose())?;
-            let centroid_norms: Vec<f64> =
-                (0..k).map(|c| {
-                    let row = centroids.row(c);
-                    row.iter().map(|v| v * v).sum()
-                }).collect();
-            let mut inertia = 0.0;
-            for i in 0..n {
-                let mut best = 0usize;
-                let mut best_d = f64::INFINITY;
-                let cross_row = cross.row(i);
-                for c in 0..k {
-                    let dist = row_norms[i] - 2.0 * cross_row[c] + centroid_norms[c];
-                    if dist < best_d {
-                        best_d = dist;
-                        best = c;
+        let mut centroid_norms = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        // Fallible body runs in a closure so the checked-out buffers are
+        // returned to the pool on every exit path (workspace contract).
+        let outcome = (|| -> Result<()> {
+            x.t_mul_into(&onehot, &mut dk, ws)?;
+            dk.transpose_into(&mut centroids)?;
+            for iter in 0..self.config.max_iters {
+                // Cross terms: T · centroidsᵀ  (n × k).
+                centroids.transpose_into(&mut centroids_t)?;
+                x.mul_right_into(&centroids_t, &mut cross, ws)?;
+                for (norm, c) in centroid_norms.iter_mut().zip(0..k) {
+                    *norm = centroids.row(c).iter().map(|v| v * v).sum();
+                }
+                let mut inertia = 0.0;
+                for i in 0..n {
+                    let mut best = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    let cross_row = cross.row(i);
+                    for c in 0..k {
+                        let dist = row_norms[i] - 2.0 * cross_row[c] + centroid_norms[c];
+                        if dist < best_d {
+                            best_d = dist;
+                            best = c;
+                        }
+                    }
+                    assignments[i] = best;
+                    inertia += best_d.max(0.0);
+                }
+                self.inertia = inertia;
+                self.iterations = iter + 1;
+                // Update: μ_c = Σ_{i∈c} T_i / |c| via Tᵀ·A with A one-hot.
+                onehot.as_mut_slice().fill(0.0);
+                counts.iter_mut().for_each(|c| *c = 0);
+                for (i, &c) in assignments.iter().enumerate() {
+                    onehot.set(i, c, 1.0);
+                    counts[c] += 1;
+                }
+                x.t_mul_into(&onehot, &mut dk, ws)?; // d × k column sums
+                new_centroids
+                    .as_mut_slice()
+                    .copy_from_slice(centroids.as_slice());
+                for (c, &count) in counts.iter().enumerate() {
+                    if count == 0 {
+                        continue; // keep previous centroid for empty clusters
+                    }
+                    let inv = 1.0 / count as f64;
+                    for j in 0..d {
+                        new_centroids.set(c, j, dk.get(j, c) * inv);
                     }
                 }
-                assignments[i] = best;
-                inertia += best_d.max(0.0);
-            }
-            self.inertia = inertia;
-            self.iterations = iter + 1;
-            // Update: μ_c = Σ_{i∈c} T_i / |c| via Tᵀ·A with A one-hot.
-            let mut a = DenseMatrix::zeros(n, k);
-            let mut counts = vec![0usize; k];
-            for (i, &c) in assignments.iter().enumerate() {
-                a.set(i, c, 1.0);
-                counts[c] += 1;
-            }
-            let sums = x.t_mul(&a)?.transpose(); // k × d
-            let mut new_centroids = centroids.clone();
-            for (c, &count) in counts.iter().enumerate() {
-                if count == 0 {
-                    continue; // keep previous centroid for empty clusters
-                }
-                let inv = 1.0 / count as f64;
-                for j in 0..d {
-                    new_centroids.set(c, j, sums.get(c, j) * inv);
+                let movement = new_centroids
+                    .as_slice()
+                    .iter()
+                    .zip(centroids.as_slice())
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                std::mem::swap(&mut centroids, &mut new_centroids);
+                if movement < self.config.tolerance {
+                    break;
                 }
             }
-            let movement = new_centroids
-                .sub(&centroids)
-                .map(|m| m.frobenius_norm())
-                .unwrap_or(f64::INFINITY);
-            centroids = new_centroids;
-            if movement < self.config.tolerance {
-                break;
-            }
-        }
+            Ok(())
+        })();
+        ws.give_matrix(onehot);
+        ws.give_matrix(dk);
+        ws.give_matrix(cross);
+        ws.give_matrix(centroids_t);
+        ws.give_matrix(new_centroids);
+        outcome?;
         self.centroids = Some(centroids);
         Ok(assignments)
     }
@@ -202,7 +240,10 @@ mod tests {
             labels.push(0);
         }
         for _ in 0..n_per {
-            rows.push(vec![10.0 + rng.gen_range(-0.5..0.5), 10.0 + rng.gen_range(-0.5..0.5)]);
+            rows.push(vec![
+                10.0 + rng.gen_range(-0.5..0.5),
+                10.0 + rng.gen_range(-0.5..0.5),
+            ]);
             labels.push(1);
         }
         (DenseMatrix::from_rows(&rows).unwrap(), labels)
@@ -267,8 +308,7 @@ mod tests {
 
     #[test]
     fn k_equals_n_gives_zero_inertia() {
-        let x = DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 0.0]])
-            .unwrap();
+        let x = DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 0.0]]).unwrap();
         let mut km = KMeans::new(KMeansConfig {
             k: 3,
             ..KMeansConfig::default()

@@ -26,7 +26,7 @@ pub mod metrics;
 pub use error::{MlError, Result};
 pub use gnmf::{Gnmf, GnmfConfig};
 pub use kmeans::{KMeans, KMeansConfig};
-pub use linreg::{LinearRegression, LinRegConfig};
-pub use logreg::{LogisticRegression, LogRegConfig};
+pub use linreg::{LinRegConfig, LinearRegression};
+pub use logreg::{LogRegConfig, LogisticRegression};
 
 pub use amalur_factorize::LinOps;

@@ -2,7 +2,7 @@
 
 use crate::{MlError, Result};
 use amalur_factorize::LinOps;
-use amalur_matrix::DenseMatrix;
+use amalur_matrix::{DenseMatrix, Workspace};
 
 /// Hyper-parameters for [`LinearRegression`].
 #[derive(Debug, Clone)]
@@ -60,30 +60,54 @@ impl LinearRegression {
     /// # Errors
     /// Shape mismatch, non-finite inputs, or divergence.
     pub fn fit<L: LinOps>(&mut self, x: &L, y: &DenseMatrix) -> Result<()> {
+        let mut ws = Workspace::new();
+        self.fit_with_workspace(x, y, &mut ws)
+    }
+
+    /// [`Self::fit`] drawing every per-epoch intermediate from `ws`:
+    /// after the first epoch warms the pool, each epoch performs zero
+    /// fresh heap allocations (assert with
+    /// [`Workspace::fresh_allocations`]). Reuse one workspace across
+    /// repeated fits to skip even the warm-up allocations.
+    ///
+    /// # Errors
+    /// As [`Self::fit`].
+    pub fn fit_with_workspace<L: LinOps>(
+        &mut self,
+        x: &L,
+        y: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
         validate_labels(x, y)?;
         let n = x.n_rows() as f64;
         let mut theta = DenseMatrix::zeros(x.n_cols(), 1);
+        let mut resid = ws.take_matrix(x.n_rows(), 1);
+        let mut grad = ws.take_matrix(x.n_cols(), 1);
         self.loss_history.clear();
         let mut prev_loss = f64::INFINITY;
+        let mut outcome = Ok(());
         for epoch in 0..self.config.epochs {
-            let pred = x.mul_right(&theta)?;
-            let resid = pred.sub(y)?;
+            x.mul_right_into(&theta, &mut resid, ws)?; // resid = Xθ
+            resid.sub_assign(y)?; // resid = Xθ − y
             let loss = resid.frobenius_norm_sq() / (2.0 * n);
             if !loss.is_finite() {
-                return Err(MlError::Diverged { epoch });
+                outcome = Err(MlError::Diverged { epoch });
+                break;
             }
             self.loss_history.push(loss);
-            let mut grad = x.t_mul(&resid)?;
+            x.t_mul_into(&resid, &mut grad, ws)?;
             if self.config.l2 > 0.0 {
                 grad.axpy_assign(self.config.l2, &theta)?;
             }
             theta.axpy_assign(-self.config.learning_rate / n, &grad)?;
-            if self.config.tolerance > 0.0 && (prev_loss - loss).abs() < self.config.tolerance
-            {
+            if self.config.tolerance > 0.0 && (prev_loss - loss).abs() < self.config.tolerance {
                 break;
             }
             prev_loss = loss;
         }
+        ws.give_matrix(resid);
+        ws.give_matrix(grad);
+        outcome?;
         self.theta = Some(theta);
         Ok(())
     }

@@ -3,7 +3,7 @@
 use crate::linreg::validate_labels;
 use crate::{MlError, Result};
 use amalur_factorize::LinOps;
-use amalur_matrix::DenseMatrix;
+use amalur_matrix::{DenseMatrix, Workspace};
 
 /// Hyper-parameters for [`LogisticRegression`].
 #[derive(Debug, Clone)]
@@ -56,6 +56,21 @@ impl LogisticRegression {
     /// # Errors
     /// Shape mismatch, labels outside `{0, 1}`, or divergence.
     pub fn fit<L: LinOps>(&mut self, x: &L, y: &DenseMatrix) -> Result<()> {
+        let mut ws = Workspace::new();
+        self.fit_with_workspace(x, y, &mut ws)
+    }
+
+    /// [`Self::fit`] drawing every per-epoch intermediate from `ws`
+    /// (allocation-free epochs once the pool is warm).
+    ///
+    /// # Errors
+    /// As [`Self::fit`].
+    pub fn fit_with_workspace<L: LinOps>(
+        &mut self,
+        x: &L,
+        y: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
         validate_labels(x, y)?;
         if y.as_slice().iter().any(|&v| v != 0.0 && v != 1.0) {
             return Err(MlError::InvalidConfig(
@@ -64,11 +79,14 @@ impl LogisticRegression {
         }
         let n = x.n_rows() as f64;
         let mut theta = DenseMatrix::zeros(x.n_cols(), 1);
+        let mut p = ws.take_matrix(x.n_rows(), 1);
+        let mut grad = ws.take_matrix(x.n_cols(), 1);
         self.loss_history.clear();
+        let mut outcome = Ok(());
         for epoch in 0..self.config.epochs {
-            let z = x.mul_right(&theta)?;
-            let p = z.map(sigmoid);
-            // Cross-entropy loss with clamping for numeric safety.
+            x.mul_right_into(&theta, &mut p, ws)?; // p = Xθ
+            p.map_inplace(sigmoid); // p = σ(Xθ)
+                                    // Cross-entropy loss with clamping for numeric safety.
             let loss = -y
                 .as_slice()
                 .iter()
@@ -80,16 +98,20 @@ impl LogisticRegression {
                 .sum::<f64>()
                 / n;
             if !loss.is_finite() {
-                return Err(MlError::Diverged { epoch });
+                outcome = Err(MlError::Diverged { epoch });
+                break;
             }
             self.loss_history.push(loss);
-            let resid = p.sub(y)?;
-            let mut grad = x.t_mul(&resid)?;
+            p.sub_assign(y)?; // p = σ(Xθ) − y, the residual
+            x.t_mul_into(&p, &mut grad, ws)?;
             if self.config.l2 > 0.0 {
                 grad.axpy_assign(self.config.l2, &theta)?;
             }
             theta.axpy_assign(-self.config.learning_rate / n, &grad)?;
         }
+        ws.give_matrix(p);
+        ws.give_matrix(grad);
+        outcome?;
         self.theta = Some(theta);
         Ok(())
     }
@@ -136,7 +158,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let x = DenseMatrix::random_uniform(n, 2, -1.0, 1.0, &mut rng);
         let y: Vec<f64> = (0..n)
-            .map(|i| if x.get(i, 0) + x.get(i, 1) > 0.0 { 1.0 } else { 0.0 })
+            .map(|i| {
+                if x.get(i, 0) + x.get(i, 1) > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         (x, DenseMatrix::column_vector(&y))
     }
@@ -205,10 +233,7 @@ mod tests {
     fn not_fitted_errors() {
         let (x, _) = separable(5, 6);
         let model = LogisticRegression::new(LogRegConfig::default());
-        assert!(matches!(
-            model.predict(&x).unwrap_err(),
-            MlError::NotFitted
-        ));
+        assert!(matches!(model.predict(&x).unwrap_err(), MlError::NotFitted));
     }
 
     #[test]

@@ -210,7 +210,12 @@ mod tests {
 
     #[test]
     fn with_capacity_types() {
-        for dt in [DataType::Int64, DataType::Float64, DataType::Utf8, DataType::Bool] {
+        for dt in [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Utf8,
+            DataType::Bool,
+        ] {
             let c = Column::with_capacity(dt, 16);
             assert_eq!(c.dtype(), dt);
             assert!(c.is_empty());

@@ -59,7 +59,10 @@ impl fmt::Display for RelationalError {
                 "type mismatch in column {column}: expected {expected}, found {found}"
             ),
             RelationalError::ArityMismatch { expected, found } => {
-                write!(f, "row arity {found} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "row arity {found} does not match schema arity {expected}"
+                )
             }
             RelationalError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             RelationalError::DuplicateColumn(name) => {

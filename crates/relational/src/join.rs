@@ -47,12 +47,7 @@ fn row_key(table: &Table, row: usize, key_cols: &[usize]) -> Option<Vec<u8>> {
 /// # Errors
 /// Returns an error when a key column is missing or key dtypes are
 /// incompatible for equality.
-pub fn hash_join(
-    left: &Table,
-    right: &Table,
-    on: &[(&str, &str)],
-    how: JoinType,
-) -> Result<Table> {
+pub fn hash_join(left: &Table, right: &Table, on: &[(&str, &str)], how: JoinType) -> Result<Table> {
     if on.is_empty() {
         return Err(RelationalError::SchemaMismatch(
             "join requires at least one key pair".into(),
@@ -113,9 +108,7 @@ pub fn hash_join(
                 if let Some(rr) = r {
                     if let Some(pos) = left_keys.iter().position(|&k| k == li) {
                         v = right.column(right_keys[pos]).get(rr);
-                    } else if let Some(&(ri, _)) =
-                        shared.iter().find(|&&(_, sli)| sli == li)
-                    {
+                    } else if let Some(&(ri, _)) = shared.iter().find(|&&(_, sli)| sli == li) {
                         v = right.column(ri).get(rr);
                     }
                 }
@@ -234,11 +227,29 @@ mod tests {
             ],
         )
         .unwrap()
-        .row(vec![1.into(), "Rose".into(), 45.0.into(), 95.0.into(), "1/4/21".into()])
+        .row(vec![
+            1.into(),
+            "Rose".into(),
+            45.0.into(),
+            95.0.into(),
+            "1/4/21".into(),
+        ])
         .unwrap()
-        .row(vec![0.into(), "Castiel".into(), 20.0.into(), 97.0.into(), "3/8/22".into()])
+        .row(vec![
+            0.into(),
+            "Castiel".into(),
+            20.0.into(),
+            97.0.into(),
+            "3/8/22".into(),
+        ])
         .unwrap()
-        .row(vec![1.into(), "Jane".into(), 37.0.into(), 92.0.into(), "11/5/21".into()])
+        .row(vec![
+            1.into(),
+            "Jane".into(),
+            37.0.into(),
+            92.0.into(),
+            "11/5/21".into(),
+        ])
         .unwrap()
         .build()
     }
@@ -253,10 +264,7 @@ mod tests {
         assert_eq!(t.value(0, "o").unwrap(), Value::Float(92.0));
         // Shared column m is coalesced, not duplicated.
         assert!(t.schema().contains("m"));
-        assert_eq!(
-            t.schema().names().iter().filter(|&&n| n == "m").count(),
-            1
-        );
+        assert_eq!(t.schema().names().iter().filter(|&&n| n == "m").count(), 1);
     }
 
     #[test]
@@ -360,14 +368,11 @@ mod tests {
     #[test]
     fn union_all_aligns_by_name_and_drops_extras() {
         // Example 4: S1(m,n,a,hr,o) ∪ S2(m,n,a,hr,o,dd) → T(m,a,hr,o)
-        let u1 = TableBuilder::new(
-            "U1",
-            &[("m", DataType::Int64), ("a", DataType::Float64)],
-        )
-        .unwrap()
-        .row(vec![0.into(), 20.0.into()])
-        .unwrap()
-        .build();
+        let u1 = TableBuilder::new("U1", &[("m", DataType::Int64), ("a", DataType::Float64)])
+            .unwrap()
+            .row(vec![0.into(), 20.0.into()])
+            .unwrap()
+            .build();
         let u2 = TableBuilder::new(
             "U2",
             &[
@@ -389,8 +394,12 @@ mod tests {
 
     #[test]
     fn union_schema_mismatch() {
-        let u1 = TableBuilder::new("U1", &[("m", DataType::Int64)]).unwrap().build();
-        let u2 = TableBuilder::new("U2", &[("x", DataType::Int64)]).unwrap().build();
+        let u1 = TableBuilder::new("U1", &[("m", DataType::Int64)])
+            .unwrap()
+            .build();
+        let u2 = TableBuilder::new("U2", &[("x", DataType::Int64)])
+            .unwrap()
+            .build();
         assert!(union_all(&[&u1, &u2]).is_err());
         assert!(union_all(&[]).is_err());
     }
@@ -413,11 +422,9 @@ mod tests {
         /// matches and misses) and one payload column.
         fn random_table(name: &str, rows: usize, key_domain: i64, seed: u64) -> Table {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let mut b = TableBuilder::new(
-                name,
-                &[("k", DataType::Int64), ("v", DataType::Float64)],
-            )
-            .unwrap();
+            let mut b =
+                TableBuilder::new(name, &[("k", DataType::Int64), ("v", DataType::Float64)])
+                    .unwrap();
             for _ in 0..rows {
                 b = b
                     .row(vec![

@@ -321,9 +321,7 @@ mod tests {
     #[test]
     fn filter_rows() {
         let t = patients();
-        let adults = t.filter(|i, t| {
-            matches!(t.value(i, "age"), Ok(Value::Float(a)) if a >= 30.0)
-        });
+        let adults = t.filter(|i, t| matches!(t.value(i, "age"), Ok(Value::Float(a)) if a >= 30.0));
         assert_eq!(adults.num_rows(), 1);
         assert_eq!(adults.value(0, "name").unwrap(), "Sam".into());
     }

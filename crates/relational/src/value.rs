@@ -198,10 +198,7 @@ mod tests {
     #[test]
     fn int_float_numeric_equality() {
         assert!(Value::Int(1).key_eq(&Value::Float(1.0)));
-        assert_eq!(
-            Value::Int(1).key_bytes(),
-            Value::Float(1.0).key_bytes()
-        );
+        assert_eq!(Value::Int(1).key_bytes(), Value::Float(1.0).key_bytes());
     }
 
     #[test]
@@ -221,7 +218,10 @@ mod tests {
     #[test]
     fn key_bytes_distinguish_types() {
         // "1" as a string must not join with 1 as a number.
-        assert_ne!(Value::Str("1".into()).key_bytes(), Value::Int(1).key_bytes());
+        assert_ne!(
+            Value::Str("1".into()).key_bytes(),
+            Value::Int(1).key_bytes()
+        );
         assert_ne!(Value::Bool(true).key_bytes(), Value::Int(1).key_bytes());
     }
 

@@ -1,0 +1,362 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the external crates the code was written against are vendored as
+//! small API-compatible subsets under `crates/vendor/`. This crate
+//! implements exactly the surface the workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range` and `gen_bool`,
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`]
+//!   (xoshiro256++ seeded through SplitMix64),
+//! * [`thread_rng`],
+//! * [`distributions::Uniform`] / [`distributions::Distribution`],
+//! * [`seq::SliceRandom::shuffle`].
+//!
+//! The streams are high-quality but deliberately **not** reproductions
+//! of the upstream `rand` streams; all workspace tests assert
+//! distributional or algebraic properties, never exact draws.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Values that can be drawn uniformly from an `Rng` (the subset of the
+/// upstream `Standard` distribution the workspace needs).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits onto `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let offset = wide % span;
+                ((self.start as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<u128> for Range<u128> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = self.end - self.start;
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        self.start + wide % span
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Guard against the half-open upper bound being hit by rounding.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open).
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic seeding.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+
+    /// Non-deterministically seeded generator returned by
+    /// [`crate::thread_rng`].
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Returns a fresh, uniquely seeded generator.
+///
+/// Unlike upstream `rand` this is not thread-local state: every call
+/// yields an independent generator seeded from a process-wide counter
+/// mixed with the current time.
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    rngs::ThreadRng(rngs::StdRng::seed_from_u64(
+        t ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    ))
+}
+
+/// Uniform distributions over ranges.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can be sampled repeatedly.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: Copy + PartialOrd> Uniform<T> {
+        /// Creates the distribution; panics when `lo >= hi`.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new: empty range");
+            Self { lo, hi }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            use super::SampleRange;
+            (self.lo..self.hi).sample_single(rng)
+        }
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Uniform<$t> {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    use super::SampleRange;
+                    (self.lo..self.hi).sample_single(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(u32, u64, usize, i32, i64);
+}
+
+/// Random sequence operations.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice extensions (`shuffle`).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let w = rng.gen_range(0u128..u128::MAX);
+            assert!(w < u128::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn uniform_distribution_matches_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Uniform::new(-0.5, 0.5);
+        for _ in 0..10_000 {
+            let v: f64 = d.sample(&mut rng);
+            assert!((-0.5..0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn thread_rng_unique_streams() {
+        let mut a = super::thread_rng();
+        let mut b = super::thread_rng();
+        let s1: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(s1, s2);
+    }
+}

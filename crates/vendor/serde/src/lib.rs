@@ -1,0 +1,266 @@
+//! Minimal, offline stand-in for `serde`.
+//!
+//! Offers value-tree based [`Serialize`] / [`Deserialize`] traits plus
+//! derive macros (from the sibling `serde_derive` shim) for plain
+//! structs with named fields. The JSON text layer lives in the
+//! `serde_json` shim; both share the [`Value`] tree defined here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dynamically typed serialization tree (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (covers every integer field in the workspace).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization failure.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, DeError> {
+    Err(DeError(format!("expected {expected}, found {got:?}")))
+}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Extracts and deserializes object field `key` (derive-macro helper).
+pub fn get_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
+    match v.get(key) {
+        Some(field) => T::from_value(field).map_err(|e| DeError(format!("field `{key}`: {}", e.0))),
+        None => Err(DeError(format!("missing field `{key}`"))),
+    }
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => type_err("number", other),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range"))),
+                    other => type_err("integer", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+// --- container impls -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_owned()
+        );
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v: Vec<Vec<i64>> = vec![vec![1, -1], vec![]];
+        assert_eq!(Vec::<Vec<i64>>::from_value(&v.to_value()).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), 1.25f64);
+        assert_eq!(
+            BTreeMap::<String, f64>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+
+        let o: Option<String> = None;
+        assert_eq!(Option::<String>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let err = bool::from_value(&Value::Int(1)).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+        let err = get_field::<bool>(&Value::Object(vec![]), "flag").unwrap_err();
+        assert!(err.to_string().contains("missing field `flag`"));
+        let err = u8::from_value(&Value::Int(500)).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Supports plain (non-generic) structs with named fields — the only
+//! shapes the workspace derives on. The implementation parses the raw
+//! token stream directly (no `syn`/`quote`, which are unavailable
+//! offline): it extracts the struct name and field names, skipping
+//! attributes and visibility modifiers, and tracking `<`/`>` depth so
+//! that commas inside generic field types (`Vec<Vec<i64>>`,
+//! `BTreeMap<String, V>`) do not split fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Skips one attribute (`#` followed by a bracket group) if present.
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in …)` if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => {}
+        other => panic!("serde_derive shim: only structs are supported, found {other:?}"),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected struct name, found {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic structs are not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive shim: tuple/unit structs are not supported"),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut body_tokens = body.stream().into_iter().peekable();
+    while body_tokens.peek().is_some() {
+        skip_attributes(&mut body_tokens);
+        skip_visibility(&mut body_tokens);
+        let field = match body_tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        match body_tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{field}`, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match body_tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    body_tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    body_tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    body_tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    body_tokens.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+    StructShape { name, fields }
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!("fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::get_field(v, {f:?})?,\n"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok(Self {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}

@@ -20,7 +20,10 @@ fn main() {
     let morpheus = MorpheusHeuristic::default();
     let amalur_model = AmalurCostModel::default();
 
-    println!("workload: {} GD epochs (T·θ + Tᵀ·r per epoch)\n", workload.epochs);
+    println!(
+        "workload: {} GD epochs (T·θ + Tᵀ·r per epoch)\n",
+        workload.epochs
+    );
     println!(
         "{:>6} {:>6} {:>8} {:>10} {:>12} {:>12} {:>12} {:>9}",
         "TR", "FR", "fanout", "speedup", "truth", "morpheus", "amalur", "agree"

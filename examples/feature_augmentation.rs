@@ -23,7 +23,9 @@ fn main() {
     );
 
     let mut system = Amalur::new();
-    system.register_silo(er.clone(), "er-department").expect("fresh");
+    system
+        .register_silo(er.clone(), "er-department")
+        .expect("fresh");
     system
         .register_silo(pulmonary, "pulmonary-department")
         .expect("fresh");

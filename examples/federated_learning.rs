@@ -23,7 +23,12 @@ fn main() {
     let (clinic, hospital, pharmacy, lab) = (&silos[0], &silos[1], &silos[2], &silos[3]);
     println!("silos:");
     for t in &silos {
-        println!("  {}: {} rows, schema {}", t.name(), t.num_rows(), t.schema());
+        println!(
+            "  {}: {} rows, schema {}",
+            t.name(),
+            t.num_rows(),
+            t.schema()
+        );
     }
 
     // Aligned feature blocks per party (shared pid; same row order since
@@ -33,16 +38,15 @@ fn main() {
     // makes federated-vs-centralized equivalence easy to verify.
     let xa = clinic.to_matrix(&["age", "weight"], 0.0).expect("numeric");
     let xb = hospital.to_matrix(&["sbp", "dbp"], 0.0).expect("numeric");
-    let xc = pharmacy.to_matrix(&["dose", "n_drugs"], 0.0).expect("numeric");
+    let xc = pharmacy
+        .to_matrix(&["dose", "n_drugs"], 0.0)
+        .expect("numeric");
     let xd = lab.to_matrix(&["creatinine", "alt"], 0.0).expect("numeric");
     let y = clinic.to_matrix(&["adverse_event"], 0.0).expect("label");
     let features = vec![xa, xb, xc, xd];
 
     // Standardize per party (each silo can do this locally).
-    let features: Vec<DenseMatrix> = features
-        .into_iter()
-        .map(|x| standardize(&x))
-        .collect();
+    let features: Vec<DenseMatrix> = features.into_iter().map(|x| standardize(&x)).collect();
 
     // ------------------------------------------------------------------
     // Train under each privacy mode and compare with centralized GD.
@@ -50,13 +54,15 @@ fn main() {
     let epochs = 150;
     let lr = 0.5;
 
-    let concat = features
-        .iter()
-        .skip(1)
-        .fold(features[0].clone(), |acc, x| acc.hstack(x).expect("aligned"));
+    let concat = features.iter().skip(1).fold(features[0].clone(), |acc, x| {
+        acc.hstack(x).expect("aligned")
+    });
     let centralized = centralized_gd(&concat, &y, epochs, lr);
 
-    println!("\n{:<16} {:>12} {:>14} {:>14} {:>12}", "mode", "final loss", "traffic", "crypto time", "max |Δθ|");
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>14} {:>12}",
+        "mode", "final loss", "traffic", "crypto time", "max |Δθ|"
+    );
     for mode in [
         PrivacyMode::Plaintext,
         PrivacyMode::SecretShared,

@@ -18,7 +18,11 @@ fn main() {
     // 12 phones × 400 keystrokes, disjoint users, one shared signal.
     // ------------------------------------------------------------------
     let phones = amalur::data::workloads::keyboard_silos(12, 400, 9);
-    println!("{} phones, {} strokes each", phones.len(), phones[0].num_rows());
+    println!(
+        "{} phones, {} strokes each",
+        phones.len(),
+        phones[0].num_rows()
+    );
 
     // The union scenario through the DI layer: shared feature schema,
     // disjoint rows — Amalur's metadata confirms there is no redundancy,

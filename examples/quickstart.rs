@@ -30,7 +30,9 @@ fn main() {
     // S1.m↔S2.m, S1.a↔S2.a and that S1's Jane is S2's Jane.
     // ------------------------------------------------------------------
     let mut system = Amalur::new();
-    system.register_silo(s1, "er-department").expect("fresh system");
+    system
+        .register_silo(s1, "er-department")
+        .expect("fresh system");
     system
         .register_silo(s2, "pulmonary-department")
         .expect("fresh system");
@@ -44,7 +46,10 @@ fn main() {
         .expect("running example integrates");
 
     println!("== Schema mappings (tgds of Table I, Example 1) ==");
-    let di = system.catalog().integration(&handle.id).expect("registered");
+    let di = system
+        .catalog()
+        .integration(&handle.id)
+        .expect("registered");
     for tgd in &di.tgds {
         println!("  {tgd}");
     }
@@ -68,7 +73,10 @@ fn main() {
         println!("CI_{} = {:?}", s.name, s.indicator.compressed());
     }
     for (s, d) in md.sources.iter().zip(handle.table.source_data()) {
-        print_matrix(&format!("D_{} (cols: {})", s.name, s.mapped_columns.join(",")), d);
+        print_matrix(
+            &format!("D_{} (cols: {})", s.name, s.mapped_columns.join(",")),
+            d,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -77,9 +85,7 @@ fn main() {
     println!("\n== Figure 4c: redundancy matrix and LMM rewrite ==");
     let r2 = &md.sources[1].redundancy;
     print_matrix("R_S2", &r2.to_dense());
-    println!(
-        "(zeros mark Jane's m and a cells — S2 repeats what S1 already contributed)"
-    );
+    println!("(zeros mark Jane's m and a cells — S2 repeats what S1 already contributed)");
     let t1 = handle.table.intermediate(0).expect("shape-checked");
     let t2 = handle.table.intermediate(1).expect("shape-checked");
     print_matrix("T1 = I1 D1 M1'", &t1);

@@ -99,17 +99,11 @@ fn full_catalog_roundtrip_through_file() {
 fn duplicate_registrations_rejected_after_reload() {
     let catalog = MetadataCatalog::new();
     catalog
-        .register_source(SourceEntry::from_table(
-            &amalur::data::hospital::s1(),
-            "er",
-        ))
+        .register_source(SourceEntry::from_table(&amalur::data::hospital::s1(), "er"))
         .expect("fresh");
     let json = catalog.to_json().expect("serializable");
     let reloaded = MetadataCatalog::from_json(&json).expect("parseable");
     assert!(reloaded
-        .register_source(SourceEntry::from_table(
-            &amalur::data::hospital::s1(),
-            "er",
-        ))
+        .register_source(SourceEntry::from_table(&amalur::data::hospital::s1(), "er",))
         .is_err());
 }

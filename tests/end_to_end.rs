@@ -8,7 +8,9 @@ fn build_system(n_er: usize, n_pulm: usize, overlap: usize) -> (Amalur, Integrat
     let (er, pulm) = amalur::data::hospital::scaled_silos(n_er, n_pulm, overlap, 31);
     let mut system = Amalur::new();
     system.register_silo(er, "er-department").expect("fresh");
-    system.register_silo(pulm, "pulmonary-department").expect("fresh");
+    system
+        .register_silo(pulm, "pulmonary-department")
+        .expect("fresh");
     let handle = system
         .integrate(
             "S1",
@@ -64,8 +66,14 @@ fn pipeline_register_integrate_train_records_everything() {
     // Catalog persists and reloads.
     let json = system.catalog().to_json().expect("serializable");
     let reloaded = MetadataCatalog::from_json(&json).expect("parseable");
-    assert_eq!(reloaded.model(&model.name).expect("persisted").strategy, plan.to_string());
-    assert_eq!(reloaded.integration(&handle.id).expect("persisted").sources, vec!["S1", "S2"]);
+    assert_eq!(
+        reloaded.model(&model.name).expect("persisted").strategy,
+        plan.to_string()
+    );
+    assert_eq!(
+        reloaded.integration(&handle.id).expect("persisted").sources,
+        vec!["S1", "S2"]
+    );
 }
 
 #[test]

@@ -78,7 +78,8 @@ fn closed_form_ridge_uses_the_factorized_gram() {
         ..LinRegConfig::default()
     };
     let mut fact = LinearRegression::new(config.clone());
-    fact.fit_normal_equations(&ft, &y).expect("factorized solves");
+    fact.fit_normal_equations(&ft, &y)
+        .expect("factorized solves");
     let mut mat = LinearRegression::new(config);
     mat.fit_normal_equations(&ft.materialize(), &y)
         .expect("materialized solves");
@@ -161,8 +162,14 @@ fn gnmf_identical_factorized_and_materialized() {
     fact.fit(&ft).expect("factorized factorizes");
     let mut mat = Gnmf::new(config);
     mat.fit(&ft.materialize()).expect("materialized factorizes");
-    assert!(fact.w().expect("fitted").approx_eq(mat.w().expect("fitted"), 1e-6));
-    assert!(fact.h().expect("fitted").approx_eq(mat.h().expect("fitted"), 1e-6));
+    assert!(fact
+        .w()
+        .expect("fitted")
+        .approx_eq(mat.w().expect("fitted"), 1e-6));
+    assert!(fact
+        .h()
+        .expect("fitted")
+        .approx_eq(mat.h().expect("fitted"), 1e-6));
     for (a, b) in fact.loss_history().iter().zip(mat.loss_history()) {
         assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
     }
@@ -171,9 +178,7 @@ fn gnmf_identical_factorized_and_materialized() {
 #[test]
 fn models_work_across_all_four_redundancy_quadrants() {
     // The Table III grid: {source redundancy} × {target redundancy}.
-    for (source_red, target_red) in
-        [(false, false), (false, true), (true, false), (true, true)]
-    {
+    for (source_red, target_red) in [(false, false), (false, true), (true, false), (true, true)] {
         let spec = TwoSourceSpec {
             rows_s1: 150,
             cols_s1: 2,

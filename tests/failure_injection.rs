@@ -9,12 +9,12 @@ use amalur_data::TwoSourceSpec;
 fn malformed_tgds_are_rejected() {
     for bad in [
         "",
-        "S1(a)",                 // no head
-        "-> T(a)",               // no body
-        "S1 -> T(a)",            // body atom without parens
-        "S1() -> T(a)",          // empty variable list
-        "S1(a) -> T(a",          // unbalanced parens
-        "(a) -> T(a)",           // missing relation name
+        "S1(a)",        // no head
+        "-> T(a)",      // no body
+        "S1 -> T(a)",   // body atom without parens
+        "S1() -> T(a)", // empty variable list
+        "S1(a) -> T(a", // unbalanced parens
+        "(a) -> T(a)",  // missing relation name
     ] {
         assert!(Tgd::parse(bad).is_err(), "accepted malformed tgd: {bad:?}");
     }
@@ -48,13 +48,21 @@ fn integration_with_missing_keys_or_no_matches() {
 fn empty_tables_flow_through_without_panicking() {
     let empty1 = TableBuilder::new(
         "S1",
-        &[("m", DataType::Int64), ("n", DataType::Utf8), ("a", DataType::Float64)],
+        &[
+            ("m", DataType::Int64),
+            ("n", DataType::Utf8),
+            ("a", DataType::Float64),
+        ],
     )
     .expect("schema")
     .build();
     let empty2 = TableBuilder::new(
         "S2",
-        &[("m", DataType::Int64), ("n", DataType::Utf8), ("o", DataType::Float64)],
+        &[
+            ("m", DataType::Int64),
+            ("n", DataType::Utf8),
+            ("o", DataType::Float64),
+        ],
     )
     .expect("schema")
     .build();
@@ -66,7 +74,10 @@ fn empty_tables_flow_through_without_panicking() {
     assert_eq!(ft.materialize().shape(), (0, 3));
     // Ops on the empty table do not panic.
     let x = DenseMatrix::ones(3, 2);
-    assert_eq!(ft.lmm(&x, Strategy::Compressed).expect("valid").shape(), (0, 2));
+    assert_eq!(
+        ft.lmm(&x, Strategy::Compressed).expect("valid").shape(),
+        (0, 2)
+    );
     assert_eq!(ft.gram().shape(), (3, 3));
 }
 
@@ -92,12 +103,8 @@ fn nan_labels_are_rejected_by_training() {
 #[test]
 fn singular_normal_equations_error_instead_of_garbage() {
     // Two identical columns → singular Gram matrix.
-    let x = DenseMatrix::from_rows(&[
-        vec![1.0, 1.0],
-        vec![2.0, 2.0],
-        vec![3.0, 3.0],
-    ])
-    .expect("static");
+    let x =
+        DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).expect("static");
     let y = DenseMatrix::column_vector(&[1.0, 2.0, 3.0]);
     let mut model = LinearRegression::new(LinRegConfig::default());
     assert!(model.fit_normal_equations(&x, &y).is_err());
@@ -122,7 +129,9 @@ fn mismatched_operands_error_at_every_layer() {
     let ft = FactorizedTable::new(md.clone(), data.clone()).expect("consistent");
     let (rows, cols) = ft.target_shape();
     // Wrong operand shapes.
-    assert!(ft.lmm(&DenseMatrix::zeros(cols + 1, 1), Strategy::Compressed).is_err());
+    assert!(ft
+        .lmm(&DenseMatrix::zeros(cols + 1, 1), Strategy::Compressed)
+        .is_err());
     assert!(ft
         .lmm_transpose(&DenseMatrix::zeros(rows + 1, 1), Strategy::Compressed)
         .is_err());

@@ -37,11 +37,7 @@ fn vfl_fixture_sized(rows: usize) -> (Vec<DenseMatrix>, DenseMatrix, DenseMatrix
     let theta: Vec<f64> = (0..concat.cols())
         .map(|j| if j % 2 == 0 { 0.8 } else { -0.6 })
         .collect();
-    let y = DenseMatrix::column_vector(
-        &concat
-            .matvec(&theta)
-            .expect("shapes agree"),
-    );
+    let y = DenseMatrix::column_vector(&concat.matvec(&theta).expect("shapes agree"));
     (xs, y, concat)
 }
 
@@ -208,18 +204,12 @@ fn hfl_over_di_union_equals_centralized() {
     .expect("protocol completes");
 
     // Centralized on the stacked union.
-    let all_x = parties
-        .iter()
-        .skip(1)
-        .fold(parties[0].x.clone(), |acc, p| {
-            acc.vstack(&p.x).expect("same width")
-        });
-    let all_y = parties
-        .iter()
-        .skip(1)
-        .fold(parties[0].y.clone(), |acc, p| {
-            acc.vstack(&p.y).expect("one column")
-        });
+    let all_x = parties.iter().skip(1).fold(parties[0].x.clone(), |acc, p| {
+        acc.vstack(&p.x).expect("same width")
+    });
+    let all_y = parties.iter().skip(1).fold(parties[0].y.clone(), |acc, p| {
+        acc.vstack(&p.y).expect("one column")
+    });
     let reference = centralized_gd(&all_x, &all_y, rounds, lr);
     assert!(
         result.global.approx_eq(&reference, 1e-9),

@@ -57,7 +57,10 @@ fn figure4b_indicator_matrices_and_data() {
     let s2 = &ft.metadata().sources[1];
     // Target rows: Jack, Sam, Ruby, Jane, Rose, Castiel.
     assert_eq!(s1.indicator.compressed(), &[0, 1, 2, 3, NO_MATCH, NO_MATCH]);
-    assert_eq!(s2.indicator.compressed(), &[NO_MATCH, NO_MATCH, NO_MATCH, 2, 0, 1]);
+    assert_eq!(
+        s2.indicator.compressed(),
+        &[NO_MATCH, NO_MATCH, NO_MATCH, 2, 0, 1]
+    );
     // D1 = S1's (m, a, hr); D2 = S2's (m, a, o) — Figure 4b.
     let d1 = &ft.source_data()[0];
     assert_eq!(d1.row(0), &[0.0, 20.0, 60.0]);
@@ -78,7 +81,11 @@ fn figure4c_redundancy_matrix() {
     let dense = r2.to_dense();
     for i in 0..6 {
         for j in 0..4 {
-            let expected = if i == 3 && (j == 0 || j == 1) { 0.0 } else { 1.0 };
+            let expected = if i == 3 && (j == 0 || j == 1) {
+                0.0
+            } else {
+                1.0
+            };
             assert_eq!(dense.get(i, j), expected, "R2[{i},{j}]");
         }
     }

@@ -66,7 +66,9 @@ fn factorized_ops_agree_across_scenarios() {
         let ref_tlmm = t.transpose().matmul(&y).expect("shapes");
         for strategy in [Strategy::Compressed, Strategy::Sparse] {
             assert!(
-                ft.lmm(&x, strategy).expect("shapes").approx_eq(&ref_lmm, 1e-9),
+                ft.lmm(&x, strategy)
+                    .expect("shapes")
+                    .approx_eq(&ref_lmm, 1e-9),
                 "{kind}/{strategy}: LMM mismatch"
             );
             assert!(
@@ -76,7 +78,10 @@ fn factorized_ops_agree_across_scenarios() {
                 "{kind}/{strategy}: TᵀX mismatch"
             );
         }
-        assert!(ft.gram().approx_eq(&t.gram(), 1e-9), "{kind}: gram mismatch");
+        assert!(
+            ft.gram().approx_eq(&t.gram(), 1e-9),
+            "{kind}: gram mismatch"
+        );
         for (a, b) in ft.col_sums().iter().zip(t.col_sums()) {
             assert!((a - b).abs() < 1e-9, "{kind}: col_sums mismatch");
         }
@@ -132,8 +137,7 @@ fn tgd_sets_follow_table1() {
 fn example_iv1_inner_join_has_no_target_redundancy() {
     let s1 = amalur::data::hospital::s1();
     let s2 = amalur::data::hospital::s2();
-    let result =
-        integrate_pair(&s1, &s2, ScenarioKind::InnerJoin, &opts()).expect("integrates");
+    let result = integrate_pair(&s1, &s2, ScenarioKind::InnerJoin, &opts()).expect("integrates");
     assert!(result.tgds[0].is_full());
     let features = amalur::cost::CostFeatures::from_metadata(&result.metadata);
     assert!(!features.has_target_redundancy());
@@ -158,7 +162,8 @@ fn training_agrees_across_scenarios() {
         let mut fact = LinearRegression::new(config.clone());
         fact.fit(&features, &y).expect("factorized trains");
         let mut mat = LinearRegression::new(config);
-        mat.fit(&features.materialize(), &y).expect("materialized trains");
+        mat.fit(&features.materialize(), &y)
+            .expect("materialized trains");
         assert!(
             fact.coefficients()
                 .expect("fitted")
