@@ -1,0 +1,80 @@
+//! Re-fits the cost model's [`HardwareProfile`] from micro-probes and
+//! writes `COST_PROFILE.json` (workspace root, next to
+//! `BENCH_kernels.json`).
+//!
+//! Run this after any kernel change (CI does, before the `table3
+//! --quick` smoke) so the factorize-vs-materialize crossover tracks the
+//! machine instead of rotting with stale constants. `--quick` shrinks
+//! the probe ladder for smoke testing.
+//!
+//! Run with: `cargo run --release -p amalur-bench --bin calibrate`
+
+use amalur_cost::{calibrate, CalibrationConfig, HardwareProfile, COST_PROFILE_FILE};
+use std::path::Path;
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!("warning: calibrate built without --release; the fitted profile is meaningless");
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        CalibrationConfig::quick()
+    } else {
+        CalibrationConfig::default()
+    };
+    println!(
+        "calibrating cost model: ladder {:?}, {} reps/probe (min taken, 1 warm-up)\n",
+        config.ladder, config.reps
+    );
+    let report = calibrate(&config);
+
+    println!(
+        "{:<32} {:>12} {:>12} {:>8}",
+        "probe", "measured ms", "predicted ms", "rel err"
+    );
+    println!("{}", "-".repeat(68));
+    for p in &report.probes {
+        println!(
+            "{:<32} {:>12.3} {:>12.3} {:>7.1}%",
+            p.name,
+            p.measured_ns / 1e6,
+            p.predicted_ns(&report.profile) / 1e6,
+            p.relative_error(&report.profile) * 100.0,
+        );
+    }
+
+    let uncal = HardwareProfile::uncalibrated();
+    println!("\nfitted profile (ns per abstract unit):");
+    println!(
+        "  flop_cost       {:>10.4}   (uncalibrated default {:.1})",
+        report.profile.flop_cost, uncal.flop_cost
+    );
+    println!(
+        "  traffic_cost    {:>10.4}   (uncalibrated default {:.1})",
+        report.profile.traffic_cost, uncal.traffic_cost
+    );
+    println!(
+        "  correction_cost {:>10.4}   (uncalibrated default {:.1})",
+        report.profile.correction_cost, uncal.correction_cost
+    );
+    println!(
+        "  assembly_cost   {:>10.4}   (uncalibrated default {:.1})",
+        report.profile.assembly_cost, uncal.assembly_cost
+    );
+    println!(
+        "fit quality over {} probes: rms rel err {:.1}%, max {:.1}%",
+        report.probes.len(),
+        report.rms_rel_err * 100.0,
+        report.max_rel_err * 100.0
+    );
+
+    report
+        .save(Path::new(COST_PROFILE_FILE))
+        .expect("writable working directory");
+    println!("wrote {COST_PROFILE_FILE}");
+
+    assert!(
+        report.profile.is_valid(),
+        "acceptance: fitted profile must be valid (finite, non-negative, non-zero)"
+    );
+}

@@ -11,7 +11,10 @@
 //! (`--quick` shrinks the base table.)
 
 use amalur_bench::{decision_char, figure5_sweep};
-use amalur_cost::TrainingWorkload;
+use amalur_cost::{
+    load_or_calibrate, AmalurCostModel, CalibrationConfig, TrainingWorkload, COST_PROFILE_FILE,
+};
+use std::path::Path;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -22,12 +25,18 @@ fn main() {
         epochs: 20,
         x_cols: 1,
     };
+    // Full-ladder fallback calibration even under --quick: profiles
+    // fitted on the tiny quick ladder mispredict at the sweep's scale
+    // (see the note in table3.rs).
+    let (profile, source) =
+        load_or_calibrate(Path::new(COST_PROFILE_FILE), &CalibrationConfig::default());
+    let amalur = AmalurCostModel::with_profile(profile);
     println!(
         "Figure 5 reproduction — decision areas over tuple ratio × feature ratio \
-         (r_S1 = {rows_s1}, {} GD epochs)\n",
+         (r_S1 = {rows_s1}, {} GD epochs, {source} cost profile)\n",
         workload.epochs
     );
-    let grid = figure5_sweep(rows_s1, &tuple_ratios, &feature_ratios, &workload);
+    let grid = figure5_sweep(rows_s1, &tuple_ratios, &feature_ratios, &workload, &amalur);
 
     let at = |tr: usize, fr: usize| {
         grid.iter()

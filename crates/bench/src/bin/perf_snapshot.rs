@@ -6,15 +6,20 @@
 //! a naive triple loop), Gram, the LMM rewrite across strategies, and
 //! one linear-regression GD epoch over the factorized footnote-3 table,
 //! plus the steady-state allocation count of the workspace-backed
-//! training loop. Run with `--release`; the perf trajectory is tracked
-//! across PRs by committing the refreshed JSON.
+//! training loop. Also re-fits the cost model's `HardwareProfile`
+//! (written to `COST_PROFILE.json` and echoed into the snapshot) so the
+//! factorize-vs-materialize crossover tracks every kernel change. Run
+//! with `--release`; the perf trajectory is tracked across PRs by
+//! committing the refreshed JSON.
 
 use amalur_bench::footnote3_table;
+use amalur_cost::{calibrate, CalibrationConfig, COST_PROFILE_FILE};
 use amalur_factorize::Strategy;
 use amalur_matrix::{kernel_blocking, kernel_threads, DenseMatrix, Workspace};
 use amalur_ml::{LinRegConfig, LinearRegression};
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::path::Path;
 use std::time::Instant;
 
 /// Median ns/op over `reps` timed runs of `f` (after one warm-up run).
@@ -119,10 +124,29 @@ fn main() {
         linreg_epoch_ns / 1e6,
     );
 
+    // --- cost-model calibration ------------------------------------------
+    // Kernel speedups move the factorize-vs-materialize crossover; every
+    // snapshot re-fits the hardware profile so the cost model keeps up.
+    let report = calibrate(&CalibrationConfig::default());
+    report
+        .save(Path::new(COST_PROFILE_FILE))
+        .expect("writable working directory");
+    let hp = report.profile;
+    println!(
+        "cost profile: flop={:.4} traffic={:.4} correction={:.4} assembly={:.4} ns/unit \
+         (rms rel err {:.1}% over {} probes) -> {COST_PROFILE_FILE}",
+        hp.flop_cost,
+        hp.traffic_cost,
+        hp.correction_cost,
+        hp.assembly_cost,
+        report.rms_rel_err * 100.0,
+        report.probes.len(),
+    );
+
     // --- emit JSON --------------------------------------------------------
     let (mr, nr, mc, kc, nc) = kernel_blocking();
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"amalur-bench-kernels/v1\",\n");
+    json.push_str("  \"schema\": \"amalur-bench-kernels/v2\",\n");
     json.push_str("  \"unit\": \"ns_per_op\",\n");
     json.push_str(&format!(
         "  \"kernel\": {{ \"MR\": {mr}, \"NR\": {nr}, \"MC\": {mc}, \"KC\": {kc}, \"NC\": {nc}, \"threads\": {} }},\n",
@@ -141,6 +165,10 @@ fn main() {
         "    \"matmul_512_speedup_vs_naive\": {speedup:.2}\n"
     ));
     json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"cost_profile\": {{ \"flop_cost\": {:.6}, \"traffic_cost\": {:.6}, \"correction_cost\": {:.6}, \"assembly_cost\": {:.6}, \"rms_rel_err\": {:.4} }},\n",
+        hp.flop_cost, hp.traffic_cost, hp.correction_cost, hp.assembly_cost, report.rms_rel_err
+    ));
     json.push_str(&format!(
         "  \"linreg_steady_state_fresh_allocations\": {steady_state_allocs}\n"
     ));

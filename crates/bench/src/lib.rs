@@ -30,6 +30,29 @@ pub fn footnote3_table(
     FactorizedTable::new(md, data).expect("generator produces consistent metadata")
 }
 
+/// Relative timing gap below which a scenario counts as a near-tie: the
+/// measured "ground truth" is a coin flip, so accuracy scoring excludes
+/// it from the denominator instead of charging models for noise.
+pub const NEAR_TIE_TOLERANCE: f64 = 0.02;
+
+/// One measured Table III scenario with both models' calls.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// `r_S1` of the configuration.
+    pub rows_s1: usize,
+    /// Measured ground truth (whichever strategy timed faster).
+    pub truth: Decision,
+    /// Morpheus' call.
+    pub morpheus: Decision,
+    /// Amalur's call.
+    pub amalur: Decision,
+    /// Measured factorization speedup (> 1 ⇒ factorize won).
+    pub speedup: f64,
+    /// Timings within [`NEAR_TIE_TOLERANCE`] of each other — excluded
+    /// from the accuracy denominator.
+    pub near_tie: bool,
+}
+
 /// One Table III cell: % of correct decisions per model over a ladder of
 /// `r_S1` values.
 #[derive(Debug, Clone)]
@@ -38,43 +61,74 @@ pub struct QuadrantResult {
     pub source_redundancy: bool,
     /// Redundancy present in the target table?
     pub target_redundancy: bool,
-    /// Fraction of correct Morpheus decisions (0..=1).
+    /// Fraction of correct Morpheus decisions (0..=1) over the scored
+    /// (non-near-tie) scenarios.
     pub morpheus_correct: f64,
-    /// Fraction of correct Amalur decisions (0..=1).
+    /// Fraction of correct Amalur decisions (0..=1) over the scored
+    /// (non-near-tie) scenarios.
     pub amalur_correct: f64,
-    /// Per-scenario details: `(r_S1, ground truth, morpheus, amalur)`.
-    pub scenarios: Vec<(usize, Decision, Decision, Decision)>,
+    /// Scenarios excluded from scoring as near-ties.
+    pub excluded: usize,
+    /// Per-scenario details.
+    pub scenarios: Vec<Scenario>,
 }
 
 /// Runs one quadrant of the Table III experiment: for every `r_S1` in
-/// `ladder`, generate the configuration, measure the ground truth, ask
-/// both models, and score them.
+/// `ladder`, generate the configuration, measure the ground truth (min
+/// over repetitions), ask both models, and score them over the
+/// non-near-tie scenarios. `amalur` carries the (ideally calibrated)
+/// [`HardwareProfile`](amalur_cost::HardwareProfile).
 pub fn run_quadrant(
     ladder: &[usize],
     target_redundancy: bool,
     source_redundancy: bool,
     workload: &TrainingWorkload,
+    amalur: &AmalurCostModel,
 ) -> QuadrantResult {
     let morpheus = MorpheusHeuristic::default();
-    let amalur = AmalurCostModel::default();
     let mut scenarios = Vec::with_capacity(ladder.len());
     let mut m_ok = 0usize;
     let mut a_ok = 0usize;
+    let mut excluded = 0usize;
     for (i, &rows) in ladder.iter().enumerate() {
         let ft = footnote3_table(rows, target_redundancy, source_redundancy, 1000 + i as u64);
         let features = CostFeatures::from_table(&ft);
-        let truth = measure_strategies(&ft, workload).ground_truth();
+        let measured = measure_strategies(&ft, workload);
+        let truth = measured.ground_truth();
+        let near_tie = measured.is_near_tie(NEAR_TIE_TOLERANCE);
         let m = morpheus.decide(&features, workload);
         let a = amalur.decide(&features, workload);
-        m_ok += usize::from(m == truth);
-        a_ok += usize::from(a == truth);
-        scenarios.push((rows, truth, m, a));
+        if near_tie {
+            excluded += 1;
+        } else {
+            m_ok += usize::from(m == truth);
+            a_ok += usize::from(a == truth);
+        }
+        scenarios.push(Scenario {
+            rows_s1: rows,
+            truth,
+            morpheus: m,
+            amalur: a,
+            speedup: measured.speedup(),
+            near_tie,
+        });
     }
+    let scored = ladder.len() - excluded;
+    // With every scenario inside the noise band there is no evidence of
+    // error against either model.
+    let frac = |ok: usize| {
+        if scored == 0 {
+            1.0
+        } else {
+            ok as f64 / scored as f64
+        }
+    };
     QuadrantResult {
         source_redundancy,
         target_redundancy,
-        morpheus_correct: m_ok as f64 / ladder.len() as f64,
-        amalur_correct: a_ok as f64 / ladder.len() as f64,
+        morpheus_correct: frac(m_ok),
+        amalur_correct: frac(a_ok),
+        excluded,
         scenarios,
     }
 }
@@ -97,15 +151,16 @@ pub struct GridPoint {
     pub amalur: Decision,
 }
 
-/// Sweeps the (tuple ratio × feature ratio) plane of Figure 5.
+/// Sweeps the (tuple ratio × feature ratio) plane of Figure 5. `amalur`
+/// carries the (ideally calibrated) profile.
 pub fn figure5_sweep(
     rows_s1: usize,
     tuple_ratios: &[usize],
     feature_ratios: &[usize],
     workload: &TrainingWorkload,
+    amalur: &AmalurCostModel,
 ) -> Vec<GridPoint> {
     let morpheus = MorpheusHeuristic::default();
-    let amalur = AmalurCostModel::default();
     let cols_s1 = 2usize;
     let mut out = Vec::with_capacity(tuple_ratios.len() * feature_ratios.len());
     for &tr in tuple_ratios {
@@ -166,10 +221,34 @@ mod tests {
             epochs: 4,
             x_cols: 1,
         };
-        let q = run_quadrant(&[100, 1000], true, false, &workload);
+        let amalur = AmalurCostModel::default();
+        let q = run_quadrant(&[100, 1000], true, false, &workload, &amalur);
         assert_eq!(q.scenarios.len(), 2);
+        assert!(q.excluded <= 2);
         assert!((0.0..=1.0).contains(&q.morpheus_correct));
         assert!((0.0..=1.0).contains(&q.amalur_correct));
+        // Excluded scenarios are exactly the near-tie-flagged ones.
+        assert_eq!(
+            q.scenarios.iter().filter(|s| s.near_tie).count(),
+            q.excluded
+        );
+    }
+
+    #[test]
+    fn fully_excluded_quadrant_scores_perfect() {
+        // Degenerate 1-row configurations time as near-ties or not — but
+        // the accounting identity must hold either way: scored + excluded
+        // = scenarios, and an all-excluded quadrant scores 1.0.
+        let workload = TrainingWorkload {
+            epochs: 1,
+            x_cols: 1,
+        };
+        let amalur = AmalurCostModel::default();
+        let q = run_quadrant(&[10], true, false, &workload, &amalur);
+        if q.excluded == 1 {
+            assert_eq!(q.morpheus_correct, 1.0);
+            assert_eq!(q.amalur_correct, 1.0);
+        }
     }
 
     #[test]
@@ -178,7 +257,8 @@ mod tests {
             epochs: 2,
             x_cols: 1,
         };
-        let grid = figure5_sweep(500, &[1, 8], &[1, 8], &workload);
+        let amalur = AmalurCostModel::default();
+        let grid = figure5_sweep(500, &[1, 8], &[1, 8], &workload, &amalur);
         assert_eq!(grid.len(), 4);
         assert!(grid.iter().all(|g| g.speedup > 0.0));
     }

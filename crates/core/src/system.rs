@@ -3,7 +3,9 @@
 
 use crate::{AmalurError, Result};
 use amalur_catalog::{DiEntry, MetadataCatalog, ModelEntry, SourceEntry};
-use amalur_cost::{AmalurCostModel, CostFeatures, CostModel, Decision, TrainingWorkload};
+use amalur_cost::{
+    AmalurCostModel, CostFeatures, CostModel, Decision, HardwareProfile, TrainingWorkload,
+};
 use amalur_factorize::FactorizedTable;
 use amalur_federated::{party_views, train_vfl, PrivacyMode, VflConfig};
 use amalur_integration::{integrate_pair, IntegrationOptions, ScenarioKind};
@@ -124,6 +126,19 @@ impl Amalur {
     /// The metadata catalog (read access for inspection and persistence).
     pub fn catalog(&self) -> &MetadataCatalog {
         &self.catalog
+    }
+
+    /// Installs a measured [`HardwareProfile`] (e.g. loaded from
+    /// `COST_PROFILE.json` or freshly calibrated) into the optimizer, so
+    /// [`Self::plan`] decides with this machine's real operation costs
+    /// instead of the uncalibrated defaults.
+    pub fn set_cost_profile(&mut self, profile: HardwareProfile) {
+        self.cost_model = AmalurCostModel::with_profile(profile);
+    }
+
+    /// The optimizer's current per-operation cost profile.
+    pub fn cost_profile(&self) -> HardwareProfile {
+        self.cost_model.profile
     }
 
     /// Registers a silo's table, recording its basic metadata.
@@ -493,6 +508,39 @@ mod tests {
             plan,
             ExecutionPlan::Factorize | ExecutionPlan::Materialize
         ));
+    }
+
+    #[test]
+    fn installed_cost_profile_steers_the_plan() {
+        let (mut amalur, handle) = system_with_hospital();
+        assert_eq!(amalur.cost_profile(), HardwareProfile::uncalibrated());
+        // A profile where only assembly costs anything makes any
+        // materialization plan look infinitely bad → factorize.
+        amalur.set_cost_profile(HardwareProfile {
+            flop_cost: 1e-9,
+            traffic_cost: 0.0,
+            correction_cost: 0.0,
+            assembly_cost: 1e6,
+        });
+        let plan = amalur.plan(
+            &handle,
+            &TrainingWorkload::default(),
+            &Constraints::default(),
+        );
+        assert_eq!(plan, ExecutionPlan::Factorize);
+        // The opposite: free assembly, ruinous traffic → materialize.
+        amalur.set_cost_profile(HardwareProfile {
+            flop_cost: 1e-9,
+            traffic_cost: 1e6,
+            correction_cost: 1e6,
+            assembly_cost: 0.0,
+        });
+        let plan = amalur.plan(
+            &handle,
+            &TrainingWorkload::default(),
+            &Constraints::default(),
+        );
+        assert_eq!(plan, ExecutionPlan::Materialize);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! [`CostFeatures`] gathers all of them from a [`DiMetadata`], so cost
 //! models stay pure functions over this struct.
 
-use amalur_factorize::FactorizedTable;
+use amalur_factorize::{FactorizedTable, OpCounts};
 use amalur_integration::DiMetadata;
 use amalur_matrix::NO_MATCH;
 
@@ -135,6 +135,53 @@ impl CostFeatures {
     pub fn has_target_redundancy(&self) -> bool {
         self.sources.iter().any(|s| s.fanout() > 1.0 + 1e-9)
     }
+
+    /// Operation counts of one compressed-strategy GD epoch (`T·X` plus
+    /// `Tᵀ·X`), agreeing with [`FactorizedTable::epoch_op_counts`] (both
+    /// sum [`OpCounts::lmm_source`]) so cost models can price plans from
+    /// metadata alone.
+    pub fn epoch_op_counts(&self, x_cols: usize) -> OpCounts {
+        let mut c = OpCounts::zero();
+        for s in &self.sources {
+            // One LMM + one transpose-LMM per epoch → 2× the per-source
+            // single-op counts.
+            c = c.plus(
+                &OpCounts::lmm_source(
+                    s.rows,
+                    s.cols,
+                    s.matched_target_rows,
+                    s.mapped_target_cols,
+                    s.redundant_cells,
+                    x_cols,
+                )
+                .scaled(2.0),
+            );
+        }
+        c
+    }
+
+    /// Operation counts of materializing the target, agreeing with
+    /// [`FactorizedTable::materialize_op_counts`].
+    pub fn materialize_op_counts(&self) -> OpCounts {
+        let mut assembly = self.target_cells() as f64;
+        for s in &self.sources {
+            assembly += OpCounts::assembly_source_cells(
+                s.matched_target_rows,
+                s.mapped_target_cols,
+                s.redundant_cells,
+            );
+        }
+        OpCounts {
+            assembly_cells: assembly,
+            ..OpCounts::zero()
+        }
+    }
+
+    /// Operation counts of one GD epoch on the materialized table,
+    /// agreeing with [`FactorizedTable::materialized_epoch_op_counts`].
+    pub fn materialized_epoch_op_counts(&self, x_cols: usize) -> OpCounts {
+        OpCounts::materialized_epoch(self.target_cells(), x_cols)
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +258,25 @@ mod tests {
         let f = CostFeatures::from_metadata(&md);
         assert!(!f.has_target_redundancy());
         assert!((f.sources[1].fanout() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_counts_agree_with_table_level_counters() {
+        use amalur_matrix::DenseMatrix;
+        let md = pkfk();
+        let data = vec![DenseMatrix::ones(6, 2), DenseMatrix::ones(2, 3)];
+        let ft = FactorizedTable::new(md, data).unwrap();
+        let f = CostFeatures::from_table(&ft);
+        for n in [1usize, 3] {
+            assert_eq!(f.epoch_op_counts(n), ft.epoch_op_counts(n));
+            assert_eq!(
+                f.materialized_epoch_op_counts(n),
+                ft.materialized_epoch_op_counts(n)
+            );
+        }
+        assert_eq!(f.materialize_op_counts(), ft.materialize_op_counts());
+        assert!(f.epoch_op_counts(1).gemm_flops > 0.0);
+        assert!(f.materialize_op_counts().assembly_cells > 0.0);
     }
 
     #[test]

@@ -13,18 +13,30 @@
 //!   does not actually produce target-side redundancy;
 //! * [`AmalurCostModel`] — an analytic FLOP/traffic model parameterized
 //!   by the DI metadata (actual match counts, fan-out, redundant cells),
-//!   covering the harder "Area III" cases;
+//!   covering the harder "Area III" cases. Its per-operation prices come
+//!   from a [`HardwareProfile`];
+//! * [`calibrate`] — the measurement-calibrated profile: micro-probes
+//!   over real factorized tables, least-squares fit, and
+//!   `COST_PROFILE.json` persistence, so the crossover re-fits itself
+//!   whenever the kernels get faster instead of rotting with hardcoded
+//!   constants;
 //! * [`oracle`] — ground truth by measurement: run both strategies and
-//!   time them. The Table III benchmark scores each model's decisions
-//!   against the oracle.
+//!   time them (min over repetitions after a warm-up). The Table III
+//!   benchmark scores each model's decisions against the oracle,
+//!   excluding near-tie scenarios that are timing noise.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibrate;
 mod features;
 mod model;
 pub mod oracle;
 
+pub use calibrate::{
+    calibrate, load_or_calibrate, CalibrationConfig, CalibrationReport, HardwareProfile, Probe,
+    ProfileSource, COST_PROFILE_FILE,
+};
 pub use features::{CostFeatures, SourceFeatures};
 pub use model::{AmalurCostModel, CostModel, Decision, MorpheusHeuristic, TrainingWorkload};
-pub use oracle::{measure_strategies, Measurement};
+pub use oracle::{measure_strategies, measure_strategies_with_reps, Measurement};

@@ -1,6 +1,6 @@
 //! The decision models: Morpheus' heuristic vs Amalur's analytic model.
 
-use crate::CostFeatures;
+use crate::{CostFeatures, HardwareProfile};
 
 /// The optimizer's verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,6 +79,12 @@ impl CostModel for MorpheusHeuristic {
     }
 
     fn decide(&self, features: &CostFeatures, _workload: &TrainingWorkload) -> Decision {
+        // A single source has no join to factorize across: the tuple
+        // ratio max/min would degenerate to 1.0 and silently fall through
+        // to the threshold comparison — make the case explicit instead.
+        if features.sources.len() < 2 {
+            return Decision::Materialize;
+        }
         // Shape-level tuple ratio: sizes of the tables, not the realized
         // join. For the footnote-3 configuration this is r_S1 / r_S2
         // regardless of the actual matching.
@@ -111,56 +117,42 @@ impl CostModel for MorpheusHeuristic {
 /// Amalur's analytic cost model: estimated total cost of both strategies
 /// from the DI metadata, pick the cheaper.
 ///
-/// Costs are in abstract "cell-op" units:
+/// The model prices the *operation counts* of the physical plans (see
+/// [`amalur_factorize::OpCounts`]) with a [`HardwareProfile`]:
 ///
-/// * factorized epoch: `Σₖ 2·r_Sk·c_Sk·n` (the `Dₖ` GEMMs) plus
-///   gather/scatter traffic `Σₖ matched_rows_k · n` and the redundancy
-///   correction `2·redundant_cells·n`, all inflated by
-///   `factorized_overhead` for the irregular access pattern;
-/// * materialized epoch: `2·r_T·c_T·n`;
-/// * materialization (paid once): assembling `r_T·c_T` cells plus reading
-///   every source cell, weighted by `assembly_weight`.
-#[derive(Debug, Clone)]
+/// * factorized run: `epochs ×` the compressed-strategy epoch counts
+///   (per-source GEMMs, gather/scatter traffic, redundancy correction);
+/// * materialized run: one-off assembly of the target table plus
+///   `epochs ×` two plain GEMMs against `T`.
+///
+/// With [`HardwareProfile::uncalibrated`] the coefficients are the
+/// paper-era magic numbers; `amalur-cost`'s calibration
+/// ([`crate::calibrate`]) replaces them with per-machine measured costs
+/// so the crossover tracks the kernels as they get faster.
+#[derive(Debug, Clone, Default)]
 pub struct AmalurCostModel {
-    /// Multiplier on factorized FLOPs for scatter/gather irregularity.
-    pub factorized_overhead: f64,
-    /// Cost per assembled target cell relative to one FLOP.
-    pub assembly_weight: f64,
-}
-
-impl Default for AmalurCostModel {
-    fn default() -> Self {
-        Self {
-            factorized_overhead: 1.4,
-            assembly_weight: 4.0,
-        }
-    }
+    /// Per-operation costs (ns per abstract unit once calibrated).
+    pub profile: HardwareProfile,
 }
 
 impl AmalurCostModel {
+    /// Model with measured (or otherwise explicit) per-operation costs.
+    pub fn with_profile(profile: HardwareProfile) -> Self {
+        Self { profile }
+    }
+
     /// Estimated cost of one factorized training run.
     pub fn factorized_cost(&self, f: &CostFeatures, w: &TrainingWorkload) -> f64 {
-        let n = w.x_cols as f64;
-        let per_epoch: f64 = f
-            .sources
-            .iter()
-            .map(|s| {
-                let gemm = 2.0 * s.rows as f64 * s.cols as f64 * n;
-                let traffic = s.matched_target_rows as f64 * n;
-                let correction = 2.0 * s.redundant_cells as f64 * n;
-                gemm + traffic + correction
-            })
-            .sum();
-        // T·X and TᵀX per epoch → 2× the one-direction cost.
-        2.0 * w.epochs as f64 * per_epoch * self.factorized_overhead
+        w.epochs as f64 * self.profile.predict(&f.epoch_op_counts(w.x_cols))
     }
 
     /// Estimated cost of materialization plus training on `T`.
     pub fn materialized_cost(&self, f: &CostFeatures, w: &TrainingWorkload) -> f64 {
-        let n = w.x_cols as f64;
-        let assembly = self.assembly_weight * (f.target_cells() as f64 + f.source_cells() as f64);
-        let per_epoch = 2.0 * f.target_cells() as f64 * n;
-        assembly + 2.0 * w.epochs as f64 * per_epoch
+        self.profile.predict(&f.materialize_op_counts())
+            + w.epochs as f64
+                * self
+                    .profile
+                    .predict(&f.materialized_epoch_op_counts(w.x_cols))
     }
 }
 
@@ -241,6 +233,20 @@ mod tests {
     }
 
     #[test]
+    fn morpheus_materializes_single_source() {
+        // One source: max rows == min rows would yield tuple ratio 1.0 by
+        // accident; the explicit rule says there is nothing to factorize
+        // across.
+        let m = MorpheusHeuristic::default();
+        let w = TrainingWorkload::default();
+        let mut f = features(1000, true);
+        f.sources.truncate(1);
+        assert_eq!(m.decide(&f, &w), Decision::Materialize);
+        f.sources.clear();
+        assert_eq!(m.decide(&f, &w), Decision::Materialize);
+    }
+
+    #[test]
     fn amalur_factorizes_with_target_redundancy() {
         let a = AmalurCostModel::default();
         let w = TrainingWorkload::default();
@@ -256,7 +262,7 @@ mod tests {
         let w = TrainingWorkload::default();
         let f = features(100_000, false);
         // Inner 1:1: target = 20k × 101 ≈ 2.02M cells; factorized still
-        // pays the full 2.1M source cells per epoch plus overhead.
+        // pays the full 2.1M source cells per epoch plus traffic.
         assert_eq!(a.decide(&f, &w), Decision::Materialize);
     }
 
@@ -294,5 +300,28 @@ mod tests {
         let base = a.factorized_cost(&f, &w);
         f.sources[1].redundant_cells = 1_000_000;
         assert!(a.factorized_cost(&f, &w) > base);
+    }
+
+    #[test]
+    fn calibrated_profile_shifts_the_crossover() {
+        // Same features, two profiles: when assembly is expensive
+        // relative to flops, factorization wins configurations the
+        // flop-dominated profile would materialize.
+        let f = features(100_000, false);
+        let w = TrainingWorkload::default();
+        let flop_heavy = AmalurCostModel::with_profile(HardwareProfile {
+            flop_cost: 10.0,
+            traffic_cost: 1.0,
+            correction_cost: 1.0,
+            assembly_cost: 1.0,
+        });
+        let assembly_heavy = AmalurCostModel::with_profile(HardwareProfile {
+            flop_cost: 0.05,
+            traffic_cost: 0.1,
+            correction_cost: 0.1,
+            assembly_cost: 50.0,
+        });
+        assert_eq!(flop_heavy.decide(&f, &w), Decision::Materialize);
+        assert_eq!(assembly_heavy.decide(&f, &w), Decision::Factorize);
     }
 }

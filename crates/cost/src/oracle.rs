@@ -40,43 +40,87 @@ impl Measurement {
         }
         self.materialized.as_secs_f64() / f
     }
+
+    /// Relative gap between the two timings,
+    /// `|factorized − materialized| / max(factorized, materialized)`,
+    /// in `[0, 1]`. Small gaps mean the "ground truth" is within timing
+    /// noise.
+    pub fn relative_gap(&self) -> f64 {
+        let f = self.factorized.as_secs_f64();
+        let m = self.materialized.as_secs_f64();
+        let max = f.max(m);
+        if max == 0.0 {
+            return 0.0;
+        }
+        (f - m).abs() / max
+    }
+
+    /// Whether the two strategies timed within `tolerance` of each other
+    /// (relative). Such scenarios are coin flips, not ground truth —
+    /// accuracy scoring should exclude them rather than charge models
+    /// for mispredicting noise.
+    pub fn is_near_tie(&self, tolerance: f64) -> bool {
+        self.relative_gap() <= tolerance
+    }
 }
 
-/// Runs and times both strategies for a GD-shaped workload.
+/// Runs and times both strategies for a GD-shaped workload, taking the
+/// **minimum over `reps` repetitions** per strategy after one untimed
+/// warm-up run (a single wall-clock sample flips the "ground truth" near
+/// the crossover on a noisy machine).
 ///
 /// Each epoch performs one `T·θ` (predictions) and one `Tᵀ·r`
 /// (gradient), the dominant operations of linear/logistic regression
 /// training; `θ` and `r` have `workload.x_cols` columns.
-pub fn measure_strategies(ft: &FactorizedTable, workload: &TrainingWorkload) -> Measurement {
+pub fn measure_strategies_with_reps(
+    ft: &FactorizedTable,
+    workload: &TrainingWorkload,
+    reps: usize,
+) -> Measurement {
     let (rows, cols) = ft.target_shape();
     let theta = DenseMatrix::filled(cols, workload.x_cols, 0.5);
     let resid = DenseMatrix::filled(rows, workload.x_cols, 0.25);
+    let reps = reps.max(1);
+    let mut sink = 0.0;
 
     // --- factorized ------------------------------------------------------
-    let start = Instant::now();
-    let mut sink = 0.0;
-    for _ in 0..workload.epochs {
-        let pred = ft
-            .lmm(&theta, Strategy::Compressed)
-            .expect("shapes fixed by construction");
-        let grad = ft
-            .lmm_transpose(&resid, Strategy::Compressed)
-            .expect("shapes fixed by construction");
-        sink += pred.get(0, 0) + grad.get(0, 0);
+    let run_factorized = |sink: &mut f64| {
+        let start = Instant::now();
+        for _ in 0..workload.epochs {
+            let pred = ft
+                .lmm(&theta, Strategy::Compressed)
+                .expect("shapes fixed by construction");
+            let grad = ft
+                .lmm_transpose(&resid, Strategy::Compressed)
+                .expect("shapes fixed by construction");
+            *sink += pred.get(0, 0) + grad.get(0, 0);
+        }
+        start.elapsed()
+    };
+    run_factorized(&mut sink); // warm-up, dropped
+    let mut factorized = Duration::MAX;
+    for _ in 0..reps {
+        factorized = factorized.min(run_factorized(&mut sink));
     }
-    let factorized = start.elapsed();
 
     // --- materialized (join + train) --------------------------------------
-    let start = Instant::now();
-    let t = ft.materialize();
-    for _ in 0..workload.epochs {
-        let pred = t.matmul(&theta).expect("shapes fixed by construction");
-        let grad = t
-            .transpose_matmul(&resid)
-            .expect("shapes fixed by construction");
-        sink += pred.get(0, 0) + grad.get(0, 0);
+    let run_materialized = |sink: &mut f64| {
+        let start = Instant::now();
+        let t = ft.materialize();
+        for _ in 0..workload.epochs {
+            let pred = t.matmul(&theta).expect("shapes fixed by construction");
+            let grad = t
+                .transpose_matmul(&resid)
+                .expect("shapes fixed by construction");
+            *sink += pred.get(0, 0) + grad.get(0, 0);
+        }
+        start.elapsed()
+    };
+    run_materialized(&mut sink); // warm-up, dropped
+    let mut materialized = Duration::MAX;
+    for _ in 0..reps {
+        materialized = materialized.min(run_materialized(&mut sink));
     }
-    let materialized = start.elapsed();
     // Keep the accumulator alive so the work cannot be optimized away.
     assert!(sink.is_finite());
 
@@ -84,6 +128,11 @@ pub fn measure_strategies(ft: &FactorizedTable, workload: &TrainingWorkload) -> 
         factorized,
         materialized,
     }
+}
+
+/// [`measure_strategies_with_reps`] with the default 3 repetitions.
+pub fn measure_strategies(ft: &FactorizedTable, workload: &TrainingWorkload) -> Measurement {
+    measure_strategies_with_reps(ft, workload, 3)
 }
 
 #[cfg(test)]
@@ -125,6 +174,44 @@ mod tests {
             materialized: Duration::from_millis(10),
         };
         assert_eq!(m.ground_truth(), Decision::Materialize);
+    }
+
+    #[test]
+    fn near_tie_detection() {
+        let m = Measurement {
+            factorized: Duration::from_millis(100),
+            materialized: Duration::from_millis(101),
+        };
+        assert!(m.relative_gap() < 0.011);
+        assert!(m.is_near_tie(0.02));
+        assert!(!m.is_near_tie(0.005));
+        let m = Measurement {
+            factorized: Duration::from_millis(100),
+            materialized: Duration::from_millis(150),
+        };
+        assert!((m.relative_gap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(!m.is_near_tie(0.02));
+        let zero = Measurement {
+            factorized: Duration::ZERO,
+            materialized: Duration::ZERO,
+        };
+        assert_eq!(zero.relative_gap(), 0.0);
+        assert!(zero.is_near_tie(0.02));
+    }
+
+    #[test]
+    fn reps_are_clamped_to_at_least_one() {
+        let ft = table(500, true);
+        let m = measure_strategies_with_reps(
+            &ft,
+            &TrainingWorkload {
+                epochs: 1,
+                x_cols: 1,
+            },
+            0,
+        );
+        assert!(m.factorized > Duration::ZERO);
+        assert!(m.materialized > Duration::ZERO);
     }
 
     #[test]

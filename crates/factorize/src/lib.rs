@@ -32,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod counts;
 mod error;
 mod linops;
 mod rewrite;
 mod table;
 
+pub use counts::OpCounts;
 pub use error::{FactorizeError, Result};
 pub use linops::LinOps;
 pub use rewrite::Strategy;

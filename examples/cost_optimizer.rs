@@ -8,9 +8,13 @@
 //!
 //! Run with: `cargo run --release --example cost_optimizer`
 
-use amalur::cost::{measure_strategies, AmalurCostModel, CostModel, MorpheusHeuristic};
+use amalur::cost::{
+    load_or_calibrate, measure_strategies, AmalurCostModel, CalibrationConfig, CostModel,
+    MorpheusHeuristic, COST_PROFILE_FILE,
+};
 use amalur::data::TwoSourceSpec;
 use amalur::prelude::*;
+use std::path::Path;
 
 fn main() {
     let workload = TrainingWorkload {
@@ -18,10 +22,14 @@ fn main() {
         x_cols: 1,
     };
     let morpheus = MorpheusHeuristic::default();
-    let amalur_model = AmalurCostModel::default();
+    // Decide with this machine's measured operation costs (falls back to
+    // a fresh calibration when COST_PROFILE.json is absent).
+    let (profile, source) =
+        load_or_calibrate(Path::new(COST_PROFILE_FILE), &CalibrationConfig::default());
+    let amalur_model = AmalurCostModel::with_profile(profile);
 
     println!(
-        "workload: {} GD epochs (T·θ + Tᵀ·r per epoch)\n",
+        "workload: {} GD epochs (T·θ + Tᵀ·r per epoch), {source} cost profile\n",
         workload.epochs
     );
     println!(

@@ -84,7 +84,8 @@ pub mod prelude {
         Amalur, Constraints, ExecutionPlan, IntegrationHandle, TrainedModel, TrainingConfig,
     };
     pub use amalur_cost::{
-        AmalurCostModel, CostFeatures, CostModel, Decision, MorpheusHeuristic, TrainingWorkload,
+        AmalurCostModel, CostFeatures, CostModel, Decision, HardwareProfile, MorpheusHeuristic,
+        TrainingWorkload,
     };
     pub use amalur_factorize::{FactorizedTable, LinOps, Strategy};
     pub use amalur_federated::{PartySamples, PrivacyMode};
