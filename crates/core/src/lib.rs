@@ -31,11 +31,12 @@ mod system;
 
 pub use error::{AmalurError, Result};
 pub use system::{
-    Amalur, Constraints, ExecutionPlan, IntegrationHandle, TrainedModel, TrainingConfig,
+    Amalur, Constraints, ExecutionPlan, FederatedModel, IntegrationHandle, TrainedModel,
+    TrainingConfig,
 };
 
 pub use amalur_catalog::MetadataCatalog;
 pub use amalur_cost::{Decision, TrainingWorkload};
 pub use amalur_factorize::{FactorizedTable, LinOps, Strategy};
-pub use amalur_federated::PrivacyMode;
+pub use amalur_federated::{CommStats, FaultPlan, FederatedError, PrivacyMode};
 pub use amalur_integration::{IntegrationOptions, ScenarioKind};

@@ -7,7 +7,11 @@ use amalur_cost::{
     AmalurCostModel, CostFeatures, CostModel, Decision, HardwareProfile, TrainingWorkload,
 };
 use amalur_factorize::FactorizedTable;
-use amalur_federated::{party_views, train_vfl, PrivacyMode, VflConfig};
+use amalur_federated::hfl::PartySamples;
+use amalur_federated::{
+    party_views, train_vfl, CommStats, FaultPlan, FaultyTransport, HflConfig, PrivacyMode,
+    VflConfig,
+};
 use amalur_integration::{integrate_pair, IntegrationOptions, ScenarioKind};
 use amalur_matrix::DenseMatrix;
 use amalur_ml::{LinRegConfig, LinearRegression, LogRegConfig, LogisticRegression};
@@ -92,6 +96,22 @@ pub struct TrainedModel {
     pub plan: ExecutionPlan,
     /// Final training loss.
     pub final_loss: f64,
+    /// Evaluation metrics recorded in the catalog.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A model trained horizontally (FedAvg) across registered silos, with
+/// the communication/fault accounting of the run.
+#[derive(Debug, Clone)]
+pub struct FederatedModel {
+    /// Catalog name of the model.
+    pub name: String,
+    /// Global coefficient vector over the shared feature columns.
+    pub coefficients: DenseMatrix,
+    /// Final global training loss over the union of silo rows.
+    pub final_loss: f64,
+    /// Wire and fault accounting (retries, drops, degraded rounds, …).
+    pub comm: CommStats,
     /// Evaluation metrics recorded in the catalog.
     pub metrics: BTreeMap<String, f64>,
 }
@@ -299,7 +319,7 @@ impl Amalur {
                         learning_rate: config.learning_rate,
                         l2: config.l2,
                         privacy: mode,
-                        seed: 42,
+                        ..VflConfig::default()
                     },
                 )?;
                 let mut stacked = result.coefficients[0].clone();
@@ -393,6 +413,112 @@ impl Amalur {
         })
     }
 
+    /// Trains a linear regression *horizontally* across registered
+    /// silos with FedAvg: every silo holds complete rows of the same
+    /// schema (same feature columns, same label), and only model
+    /// deltas cross the wire. Pass a [`FaultPlan`] to run the exchange
+    /// over the deterministic unreliable transport — retries, quorum
+    /// aggregation and fault accounting included; `None` uses the
+    /// reliable in-process transport.
+    ///
+    /// `config.epochs` maps to communication rounds. The feature set
+    /// is the first silo's numeric columns minus the label; every silo
+    /// must provide them.
+    ///
+    /// # Errors
+    /// Unknown silos, missing columns, non-zero `l2` (not part of the
+    /// FedAvg objective here), or federated failures such as
+    /// [`amalur_federated::FederatedError::QuorumLost`].
+    pub fn train_fedavg(
+        &mut self,
+        silos: &[&str],
+        label: &str,
+        config: &TrainingConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<FederatedModel> {
+        if config.l2 != 0.0 {
+            return Err(AmalurError::Invalid(
+                "l2 regularization is not part of the FedAvg objective; use l2 = 0".into(),
+            ));
+        }
+        let mut parties = Vec::with_capacity(silos.len());
+        let mut features: Vec<String> = Vec::new();
+        for (i, name) in silos.iter().enumerate() {
+            let table = self.silo(name)?;
+            if i == 0 {
+                let numeric = table.numeric_column_names();
+                if !numeric.contains(&label) {
+                    return Err(AmalurError::Invalid(format!(
+                        "silo {name} has no numeric label column {label:?}"
+                    )));
+                }
+                features = numeric
+                    .into_iter()
+                    .filter(|c| *c != label)
+                    .map(str::to_owned)
+                    .collect();
+                if features.is_empty() {
+                    return Err(AmalurError::Invalid(format!(
+                        "silo {name} has no numeric feature columns besides the label"
+                    )));
+                }
+            }
+            let refs: Vec<&str> = features.iter().map(String::as_str).collect();
+            let x = table.to_matrix(&refs, 0.0)?;
+            let y = table.to_matrix(&[label], 0.0)?;
+            parties.push(PartySamples {
+                name: (*name).to_owned(),
+                x,
+                y,
+            });
+        }
+        let hfl = HflConfig {
+            rounds: config.epochs,
+            learning_rate: config.learning_rate,
+            ..HflConfig::default()
+        };
+        let result = match faults {
+            None => amalur_federated::hfl::train_fedavg(&parties, &hfl)?,
+            Some(plan) => {
+                let mut transport = FaultyTransport::new(plan.clone())?;
+                amalur_federated::train_fedavg_with_transport(&parties, &hfl, &mut transport)?
+            }
+        };
+        let final_loss = result.loss_history.last().copied().unwrap_or(f64::NAN);
+        let mut metrics = BTreeMap::new();
+        metrics.insert("final_loss".to_owned(), final_loss);
+        metrics.insert("wire_bytes".to_owned(), result.comm.total_bytes() as f64);
+        metrics.insert("retries".to_owned(), result.comm.retries as f64);
+        metrics.insert(
+            "rounds_degraded".to_owned(),
+            result.comm.rounds_degraded as f64,
+        );
+        metrics.insert(
+            "rounds_skipped".to_owned(),
+            result.comm.rounds_skipped as f64,
+        );
+        let strategy = if faults.is_some() {
+            "fedavg(faulty-transport)"
+        } else {
+            "fedavg"
+        };
+        let trained_on = silos.iter().map(|s| (*s).to_owned()).collect();
+        let name = self.register_model_entry(
+            "linear_regression",
+            strategy.to_owned(),
+            trained_on,
+            config,
+            metrics.clone(),
+        )?;
+        Ok(FederatedModel {
+            name,
+            coefficients: result.global,
+            final_loss,
+            comm: result.comm,
+            metrics,
+        })
+    }
+
     fn linreg_config(&self, config: &TrainingConfig) -> LinRegConfig {
         LinRegConfig {
             epochs: config.epochs,
@@ -410,6 +536,23 @@ impl Amalur {
         plan: ExecutionPlan,
         metrics: BTreeMap<String, f64>,
     ) -> Result<String> {
+        self.register_model_entry(
+            model_type,
+            plan.to_string(),
+            vec![handle.id.clone()],
+            config,
+            metrics,
+        )
+    }
+
+    fn register_model_entry(
+        &mut self,
+        model_type: &str,
+        strategy: String,
+        trained_on: Vec<String>,
+        config: &TrainingConfig,
+        metrics: BTreeMap<String, f64>,
+    ) -> Result<String> {
         self.model_counter += 1;
         let name = format!("{model_type}-{}", self.model_counter);
         let mut hp = BTreeMap::new();
@@ -420,10 +563,10 @@ impl Amalur {
             name: name.clone(),
             model_type: model_type.to_owned(),
             environment: "amalur-native".to_owned(),
-            strategy: plan.to_string(),
+            strategy,
             hyperparameters: hp,
             metrics,
-            trained_on: vec![handle.id.clone()],
+            trained_on,
         })?;
         Ok(name)
     }
@@ -645,6 +788,110 @@ mod tests {
             .train_linear_regression(&handle, 0, &config, ExecutionPlan::Materialize)
             .unwrap();
         assert!(fact.coefficients.approx_eq(&mat.coefficients, 1e-9));
+    }
+
+    fn keyboard_system(n_phones: usize) -> (Amalur, Vec<String>) {
+        let mut amalur = Amalur::new();
+        let mut names = Vec::new();
+        for t in amalur_data::workloads::keyboard_silos(n_phones, 40, 9) {
+            names.push(t.name().to_owned());
+            let location = format!("{}-device", t.name());
+            amalur.register_silo(t, location).unwrap();
+        }
+        (amalur, names)
+    }
+
+    #[test]
+    fn fedavg_trains_across_horizontal_silos() {
+        let (mut amalur, names) = keyboard_system(3);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let config = TrainingConfig {
+            epochs: 60,
+            learning_rate: 1e-6,
+            l2: 0.0,
+        };
+        let model = amalur
+            .train_fedavg(&refs, "next_flight_ms", &config, None)
+            .unwrap();
+        assert!(model.final_loss.is_finite());
+        // uid + the five keystroke features.
+        assert_eq!(model.coefficients.rows(), 6);
+        assert_eq!(model.comm.fault_events(), 0);
+        assert!(model.comm.messages > 0);
+        let entry = amalur.catalog().model(&model.name).unwrap();
+        assert_eq!(entry.strategy, "fedavg");
+        assert_eq!(entry.trained_on, names);
+    }
+
+    #[test]
+    fn fedavg_with_fault_plan_survives_and_accounts() {
+        use amalur_federated::FaultPlan;
+        let (mut amalur, names) = keyboard_system(3);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let config = TrainingConfig {
+            epochs: 40,
+            learning_rate: 1e-6,
+            l2: 0.0,
+        };
+        let plan = FaultPlan::grid(17, 0.2, 0.1);
+        let model = amalur
+            .train_fedavg(&refs, "next_flight_ms", &config, Some(&plan))
+            .unwrap();
+        assert!(model.final_loss.is_finite());
+        assert!(model.comm.drops > 0, "20% drops should register");
+        assert!(model.comm.retries > 0);
+        let entry = amalur.catalog().model(&model.name).unwrap();
+        assert_eq!(entry.strategy, "fedavg(faulty-transport)");
+        assert!(entry.metrics["retries"] > 0.0);
+    }
+
+    #[test]
+    fn fedavg_quorum_loss_is_a_typed_error() {
+        use amalur_federated::{FaultPlan, FederatedError};
+        let (mut amalur, names) = keyboard_system(3);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let black_hole = FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::reliable(3)
+        };
+        let err = amalur
+            .train_fedavg(
+                &refs,
+                "next_flight_ms",
+                &TrainingConfig::default(),
+                Some(&black_hole),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AmalurError::Federated(FederatedError::QuorumLost { .. })
+        ));
+    }
+
+    #[test]
+    fn fedavg_validates_label_and_l2() {
+        let (mut amalur, names) = keyboard_system(2);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        assert!(matches!(
+            amalur.train_fedavg(&refs, "no_such_col", &TrainingConfig::default(), None),
+            Err(AmalurError::Invalid(_))
+        ));
+        let with_l2 = TrainingConfig {
+            l2: 0.5,
+            ..TrainingConfig::default()
+        };
+        assert!(matches!(
+            amalur.train_fedavg(&refs, "next_flight_ms", &with_l2, None),
+            Err(AmalurError::Invalid(_))
+        ));
+        assert!(amalur
+            .train_fedavg(
+                &["ghost"],
+                "next_flight_ms",
+                &TrainingConfig::default(),
+                None
+            )
+            .is_err());
     }
 
     #[test]

@@ -154,4 +154,116 @@ mod tests {
         }
         assert!(sum.approx_eq(&reference, 1e-9));
     }
+
+    // --- hand-built edge cases: errors, never panics --------------------
+
+    use amalur_integration::{
+        DiMetadata, IndicatorMatrix, MappingMatrix, RedundancyMatrix, SourceMetadata,
+    };
+    use amalur_matrix::NO_MATCH;
+
+    /// Two single-column sources over a hand-specified row alignment.
+    fn two_source_table(ci1: Vec<i64>, ci2: Vec<i64>, target_rows: usize) -> FactorizedTable {
+        let source = |name: &str, cm: Vec<i64>, ci: Vec<i64>, rows: usize| SourceMetadata {
+            name: name.into(),
+            mapped_columns: vec![format!("{name}_c0")],
+            mapping: MappingMatrix::new(cm, 1).unwrap(),
+            indicator: IndicatorMatrix::new(ci, rows).unwrap(),
+            redundancy: RedundancyMatrix::all_ones(target_rows, 2),
+        };
+        let md = DiMetadata {
+            target_columns: vec!["a".into(), "b".into()],
+            target_rows,
+            sources: vec![
+                source("s1", vec![0, NO_MATCH], ci1, 3),
+                source("s2", vec![NO_MATCH, 0], ci2, 3),
+            ],
+        };
+        let d = |vals: &[f64]| DenseMatrix::from_vec(3, 1, vals.to_vec()).unwrap();
+        FactorizedTable::new(md, vec![d(&[1.0, 2.0, 3.0]), d(&[10.0, 20.0, 30.0])]).unwrap()
+    }
+
+    #[test]
+    fn empty_intersection_yields_views_training_rejects() {
+        // An inner join that matched nothing: zero target rows. The
+        // views materialize fine (0-row features) and training turns
+        // them into a typed error, not a NaN run or a panic.
+        let ft = two_source_table(vec![], vec![], 0);
+        let views = party_views(&ft).unwrap();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].features.rows(), 0);
+        let features: Vec<DenseMatrix> = views.into_iter().map(|v| v.features).collect();
+        let y = DenseMatrix::zeros(0, 1);
+        assert!(matches!(
+            crate::vfl::train_vfl(&features, &y, &crate::vfl::VflConfig::default()),
+            Err(FederatedError::Misaligned(_))
+        ));
+    }
+
+    #[test]
+    fn single_party_view_is_the_whole_target() {
+        let md = DiMetadata {
+            target_columns: vec!["a".into(), "b".into()],
+            target_rows: 3,
+            sources: vec![SourceMetadata {
+                name: "only".into(),
+                mapped_columns: vec!["a".into(), "b".into()],
+                mapping: MappingMatrix::new(vec![0, 1], 2).unwrap(),
+                indicator: IndicatorMatrix::new(vec![0, 1, 2], 3).unwrap(),
+                redundancy: RedundancyMatrix::all_ones(3, 2),
+            }],
+        };
+        let data = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let ft = FactorizedTable::new(md, vec![data]).unwrap();
+        let views = party_views(&ft).unwrap();
+        assert_eq!(views.len(), 1);
+        assert!(views[0].features.approx_eq(&ft.materialize(), 1e-12));
+        assert_eq!(views[0].columns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_join_keys_repeat_rows_without_panic() {
+        // Two target rows resolve to the same source row (duplicate join
+        // keys): the view repeats the row rather than failing.
+        let ft = two_source_table(vec![0, 0, 1], vec![2, 2, 0], 3);
+        let views = party_views(&ft).unwrap();
+        assert_eq!(views[0].features.col(0), vec![1.0, 1.0, 2.0]);
+        assert_eq!(views[1].features.col(0), vec![30.0, 30.0, 10.0]);
+    }
+
+    #[test]
+    fn source_mapping_no_columns_is_a_typed_error() {
+        let md = DiMetadata {
+            target_columns: vec!["a".into()],
+            target_rows: 2,
+            sources: vec![
+                SourceMetadata {
+                    name: "full".into(),
+                    mapped_columns: vec!["a".into()],
+                    mapping: MappingMatrix::new(vec![0], 1).unwrap(),
+                    indicator: IndicatorMatrix::new(vec![0, 1], 2).unwrap(),
+                    redundancy: RedundancyMatrix::all_ones(2, 1),
+                },
+                SourceMetadata {
+                    name: "hollow".into(),
+                    mapped_columns: vec![],
+                    mapping: MappingMatrix::new(vec![NO_MATCH], 0).unwrap(),
+                    indicator: IndicatorMatrix::new(vec![0, 1], 2).unwrap(),
+                    redundancy: RedundancyMatrix::all_ones(2, 1),
+                },
+            ],
+        };
+        let ft = FactorizedTable::new(
+            md,
+            vec![
+                DenseMatrix::from_vec(2, 1, vec![1.0, 2.0]).unwrap(),
+                DenseMatrix::zeros(2, 0),
+            ],
+        )
+        .unwrap();
+        match party_views(&ft) {
+            Err(FederatedError::Misaligned(m)) => assert!(m.contains("hollow")),
+            other => panic!("expected Misaligned, got {other:?}"),
+        }
+    }
 }

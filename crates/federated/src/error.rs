@@ -18,6 +18,19 @@ pub enum FederatedError {
     Crypto(String),
     /// Error bubbled up from the compute layer.
     Compute(String),
+    /// Too few parties responded for too many consecutive rounds — the
+    /// orchestrator degraded as far as its quorum policy allows and
+    /// gave up instead of hanging.
+    QuorumLost {
+        /// Round at which the run was abandoned.
+        round: usize,
+        /// Parties that responded in that round.
+        responded: usize,
+        /// Responders the quorum policy required.
+        needed: usize,
+    },
+    /// A checkpoint could not be parsed or does not match the run.
+    Checkpoint(String),
 }
 
 impl fmt::Display for FederatedError {
@@ -28,6 +41,15 @@ impl fmt::Display for FederatedError {
             FederatedError::Protocol(m) => write!(f, "protocol error: {m}"),
             FederatedError::Crypto(m) => write!(f, "crypto error: {m}"),
             FederatedError::Compute(m) => write!(f, "compute error: {m}"),
+            FederatedError::QuorumLost {
+                round,
+                responded,
+                needed,
+            } => write!(
+                f,
+                "quorum lost at round {round}: {responded} of the required {needed} parties responded"
+            ),
+            FederatedError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }
     }
 }

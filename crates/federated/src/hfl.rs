@@ -1,20 +1,42 @@
-//! Horizontal federated learning: FedAvg over the union scenario.
+//! Horizontal federated learning: fault-tolerant FedAvg over the union
+//! scenario.
 //!
 //! Example 4 / HFL: "data sources share feature columns but not data
 //! samples". Every silo trains locally on its own rows; the orchestrator
 //! averages the models weighted by sample counts. With one local epoch
-//! the round is algebraically identical to a centralized GD step on the
-//! union (the weighted average of per-silo gradients *is* the union
-//! gradient), which the tests verify; more local epochs trade accuracy
-//! per round for fewer communication rounds. Updates can be noised with
-//! the Laplace mechanism before leaving a silo (§V-B's differential
-//! privacy option).
+//! and full participation the round is algebraically identical to a
+//! centralized GD step on the union (the weighted average of per-silo
+//! gradients *is* the union gradient), which the tests verify; more
+//! local epochs trade accuracy per round for fewer communication
+//! rounds. Updates can be noised with the Laplace mechanism before
+//! leaving a silo (§V-B's differential privacy option).
+//!
+//! # Fault tolerance
+//!
+//! All messages ride on a [`Transport`] (see [`crate::transport`]).
+//! Each round, per party, the orchestrator broadcasts the model and
+//! awaits a round-tagged, checksummed [`Envelope`], retrying with
+//! exponential backoff + deterministic jitter under a per-round virtual
+//! deadline ([`RetryPolicy`]). Corrupt envelopes (checksum failure) and
+//! stale envelopes (old round tag) are rejected and retried; duplicated
+//! deliveries are deduplicated but *accounted* per copy (see
+//! [`CommStats`]). The round aggregates as soon as the responders meet
+//! the [`QuorumPolicy`], reweighting FedAvg by the responding sample
+//! counts; a round below quorum leaves the model untouched, and after
+//! `patience` consecutive such rounds the run returns
+//! [`FederatedError::QuorumLost`] instead of hanging.
+//!
+//! [`FedAvgOrchestrator`] exposes the round loop step-by-step so runs
+//! can be checkpointed ([`Checkpoint`]) and resumed bit-identically.
 
+use crate::checkpoint::Checkpoint;
 use crate::protocol::CommStats;
+use crate::transport::{
+    backoff_ms, CursorRng, Direction, Envelope, Fate, MessageMeta, ReliableTransport, Transport,
+};
 use crate::{FederatedError, Result};
 use amalur_crypto::dp::LaplaceMechanism;
 use amalur_matrix::DenseMatrix;
-use rand::SeedableRng;
 
 /// One silo's local samples (aligned schemas across silos).
 #[derive(Debug, Clone)]
@@ -25,6 +47,66 @@ pub struct PartySamples {
     pub x: DenseMatrix,
     /// Local labels (`rows × 1`).
     pub y: DenseMatrix,
+}
+
+/// Retry/timeout/backoff policy for one logical message exchange.
+///
+/// Time is virtual (milliseconds of simulated wall clock); no real
+/// sleeping happens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delivery attempts per party per round (first try included).
+    pub max_attempts: usize,
+    /// Per-round virtual deadline per party; replies landing after it
+    /// count as timeouts.
+    pub deadline_ms: u64,
+    /// Virtual time the orchestrator waits before declaring one
+    /// attempt lost.
+    pub attempt_timeout_ms: u64,
+    /// Base of the exponential backoff between attempts.
+    pub backoff_base_ms: u64,
+    /// Jitter fraction applied on top of the exponential backoff
+    /// (deterministic per message, seeded from the run seed).
+    pub backoff_jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            deadline_ms: 2_000,
+            attempt_timeout_ms: 200,
+            backoff_base_ms: 100,
+            backoff_jitter: 0.2,
+        }
+    }
+}
+
+/// When a round may proceed without everyone, and when to give up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuorumPolicy {
+    /// Minimum responding fraction of parties for a round to aggregate
+    /// (e.g. `2.0 / 3.0`); at least one responder is always required.
+    pub min_fraction: f64,
+    /// Consecutive below-quorum rounds tolerated before the run is
+    /// abandoned with [`FederatedError::QuorumLost`].
+    pub patience: usize,
+}
+
+impl Default for QuorumPolicy {
+    fn default() -> Self {
+        Self {
+            min_fraction: 2.0 / 3.0,
+            patience: 3,
+        }
+    }
+}
+
+impl QuorumPolicy {
+    /// Responders required out of `n_parties`.
+    pub fn needed(&self, n_parties: usize) -> usize {
+        ((self.min_fraction * n_parties as f64).ceil() as usize).clamp(1, n_parties)
+    }
 }
 
 /// Configuration for [`train_fedavg`].
@@ -39,8 +121,12 @@ pub struct HflConfig {
     /// Optional differential privacy on the model deltas leaving a silo:
     /// `(sensitivity, epsilon)`.
     pub dp: Option<(f64, f64)>,
-    /// RNG seed (DP noise).
+    /// RNG seed (DP noise, backoff jitter).
     pub seed: u64,
+    /// Retry/timeout/backoff policy.
+    pub retry: RetryPolicy,
+    /// Partial-aggregation quorum policy.
+    pub quorum: QuorumPolicy,
 }
 
 impl Default for HflConfig {
@@ -51,6 +137,8 @@ impl Default for HflConfig {
             learning_rate: 0.1,
             dp: None,
             seed: 42,
+            retry: RetryPolicy::default(),
+            quorum: QuorumPolicy::default(),
         }
     }
 }
@@ -66,19 +154,380 @@ pub struct HflResult {
     pub comm: CommStats,
 }
 
-/// Runs FedAvg over the silos.
-///
-/// # Errors
-/// * [`FederatedError::InvalidConfig`] for empty inputs or bad DP params.
-/// * [`FederatedError::Misaligned`] for inconsistent feature widths or
-///   label shapes.
-pub fn train_fedavg(parties: &[PartySamples], config: &HflConfig) -> Result<HflResult> {
+/// What one party did in one round.
+enum PartyRoundOutcome {
+    /// The party's update arrived in time.
+    Responded(DenseMatrix),
+    /// The party was crashed, timed out, or exhausted its retries.
+    Missing,
+}
+
+/// The fault-tolerant FedAvg round loop, exposed step-by-step so runs
+/// can be checkpointed and resumed (see the module docs).
+pub struct FedAvgOrchestrator<'a, T: Transport> {
+    parties: &'a [PartySamples],
+    config: &'a HflConfig,
+    transport: &'a mut T,
+    mechanism: Option<LaplaceMechanism>,
+    rng: CursorRng,
+    global: DenseMatrix,
+    d: usize,
+    round: usize,
+    quorum_failures: usize,
+    loss_history: Vec<f64>,
+    comm: CommStats,
+}
+
+impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
+    /// Validates the inputs and builds a fresh run at round zero.
+    ///
+    /// # Errors
+    /// * [`FederatedError::InvalidConfig`] for empty inputs, bad DP
+    ///   params, zero feature dimensions or a degenerate retry policy.
+    /// * [`FederatedError::Misaligned`] for inconsistent feature widths
+    ///   or label shapes.
+    pub fn new(
+        parties: &'a [PartySamples],
+        config: &'a HflConfig,
+        transport: &'a mut T,
+    ) -> Result<Self> {
+        let d = validate(parties, config)?;
+        let mechanism = match config.dp {
+            Some((sensitivity, epsilon)) => Some(LaplaceMechanism::new(sensitivity, epsilon)?),
+            None => None,
+        };
+        Ok(Self {
+            parties,
+            config,
+            transport,
+            mechanism,
+            rng: CursorRng::new(config.seed),
+            global: DenseMatrix::zeros(d, 1),
+            d,
+            round: 0,
+            quorum_failures: 0,
+            loss_history: Vec::with_capacity(config.rounds),
+            comm: CommStats::default(),
+        })
+    }
+
+    /// Rebuilds a run mid-flight from a [`Checkpoint`], restoring the
+    /// model, the round counter, the accounting, and the RNG cursor.
+    /// Continuing produces bit-identical state to the uninterrupted
+    /// run, provided `parties`, `config` and the transport's fault
+    /// schedule are the ones the checkpoint was taken under.
+    ///
+    /// # Errors
+    /// Validation errors as in [`Self::new`], plus
+    /// [`FederatedError::Checkpoint`] when the checkpoint's shape does
+    /// not match `parties`/`config`.
+    pub fn resume(
+        parties: &'a [PartySamples],
+        config: &'a HflConfig,
+        transport: &'a mut T,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self> {
+        let d = validate(parties, config)?;
+        if checkpoint.global.len() != d {
+            return Err(FederatedError::Checkpoint(format!(
+                "checkpointed model has {} coefficients, parties have {d} features",
+                checkpoint.global.len()
+            )));
+        }
+        if checkpoint.round > config.rounds || checkpoint.loss_history.len() != checkpoint.round {
+            return Err(FederatedError::Checkpoint(format!(
+                "checkpoint at round {} with {} loss entries does not fit a {}-round run",
+                checkpoint.round,
+                checkpoint.loss_history.len(),
+                config.rounds
+            )));
+        }
+        let mechanism = match config.dp {
+            Some((sensitivity, epsilon)) => Some(LaplaceMechanism::new(sensitivity, epsilon)?),
+            None => None,
+        };
+        Ok(Self {
+            parties,
+            config,
+            transport,
+            mechanism,
+            rng: CursorRng::restore(config.seed, checkpoint.rng_draws),
+            global: DenseMatrix::column_vector(&checkpoint.global),
+            d,
+            round: checkpoint.round,
+            quorum_failures: checkpoint.quorum_failures,
+            loss_history: checkpoint.loss_history.clone(),
+            comm: checkpoint.comm,
+        })
+    }
+
+    /// The next round to execute.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Whether every configured round has run.
+    pub fn is_done(&self) -> bool {
+        self.round >= self.config.rounds
+    }
+
+    /// Freezes the current state (taken between rounds).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            round: self.round,
+            global: self.global.as_slice().to_vec(),
+            loss_history: self.loss_history.clone(),
+            comm: self.comm,
+            rng_draws: self.rng.draws(),
+            quorum_failures: self.quorum_failures,
+        }
+    }
+
+    /// Executes one communication round.
+    ///
+    /// # Errors
+    /// [`FederatedError::QuorumLost`] when quorum has been missed for
+    /// more consecutive rounds than the policy tolerates; compute
+    /// errors from the local training steps.
+    pub fn step(&mut self) -> Result<()> {
+        let n_parties = self.parties.len();
+        let needed = self.config.quorum.needed(n_parties);
+
+        // Global loss over the union before the round (for the history).
+        let total_rows: usize = self.parties.iter().map(|p| p.x.rows()).sum();
+        let mut loss = 0.0;
+        for p in self.parties {
+            let resid = p.x.matmul(&self.global)?.sub(&p.y)?;
+            loss += resid.frobenius_norm_sq();
+        }
+        self.loss_history.push(loss / (2.0 * total_rows as f64));
+
+        // Collect updates from whoever responds in time.
+        let mut responders: Vec<(usize, DenseMatrix)> = Vec::with_capacity(n_parties);
+        for k in 0..n_parties {
+            if let PartyRoundOutcome::Responded(theta) = self.run_party_round(k)? {
+                responders.push((k, theta));
+            }
+        }
+
+        if responders.len() < needed {
+            self.comm.rounds_skipped += 1;
+            self.quorum_failures += 1;
+            if self.quorum_failures > self.config.quorum.patience {
+                return Err(FederatedError::QuorumLost {
+                    round: self.round,
+                    responded: responders.len(),
+                    needed,
+                });
+            }
+        } else {
+            if responders.len() < n_parties {
+                self.comm.rounds_degraded += 1;
+            }
+            self.quorum_failures = 0;
+            // FedAvg reweighted by the responding sample counts.
+            let responding_rows: usize = responders
+                .iter()
+                .map(|&(k, _)| self.parties[k].x.rows())
+                .sum();
+            let mut aggregate = DenseMatrix::zeros(self.d, 1);
+            for (k, theta) in &responders {
+                let w = self.parties[*k].x.rows() as f64 / responding_rows as f64;
+                aggregate.axpy_assign(w, theta)?;
+            }
+            self.global = aggregate;
+        }
+        self.round += 1;
+        Ok(())
+    }
+
+    /// Finishes the run and hands back the result.
+    pub fn finish(self) -> HflResult {
+        HflResult {
+            global: self.global,
+            loss_history: self.loss_history,
+            comm: self.comm,
+        }
+    }
+
+    /// One party's full round: broadcast-with-retry, local training,
+    /// upload-with-retry, all under the virtual deadline.
+    fn run_party_round(&mut self, k: usize) -> Result<PartyRoundOutcome> {
+        let round = self.round;
+        let retry = self.config.retry;
+        if !self.transport.available(k, round) {
+            self.comm.crash_outages += 1;
+            return Ok(PartyRoundOutcome::Missing);
+        }
+        let bytes = self.d * 8;
+        let rtt = self.transport.rtt_ms();
+        let mut elapsed: u64 = 0;
+        for attempt in 0..retry.max_attempts {
+            if attempt > 0 {
+                self.comm.retries += 1;
+                elapsed += backoff_ms(
+                    retry.backoff_base_ms,
+                    retry.backoff_jitter,
+                    self.config.seed,
+                    round,
+                    k,
+                    attempt,
+                );
+            }
+            if elapsed > retry.deadline_ms {
+                break;
+            }
+
+            // --- downlink: broadcast the global model -------------------
+            let down_meta = MessageMeta {
+                round,
+                party: k,
+                direction: Direction::Down,
+                attempt,
+                bytes,
+            };
+            self.comm.record_attempt(Direction::Down, bytes);
+            match self.transport.fate(&down_meta) {
+                Fate::Dropped => {
+                    self.comm.drops += 1;
+                    elapsed += retry.attempt_timeout_ms;
+                    continue;
+                }
+                Fate::Corrupted { delay_ms } | Fate::Stale { delay_ms, .. } => {
+                    // The party discards the damaged/stale broadcast and
+                    // stays silent; the orchestrator times the attempt out.
+                    self.comm.corrupt_rejected += 1;
+                    if delay_ms > rtt {
+                        self.comm.stragglers += 1;
+                    }
+                    elapsed += delay_ms.max(retry.attempt_timeout_ms);
+                    continue;
+                }
+                Fate::Delivered { delay_ms, copies } => {
+                    self.comm
+                        .record_duplicates(Direction::Down, bytes, copies - 1);
+                    if delay_ms > rtt {
+                        self.comm.stragglers += 1;
+                    }
+                    elapsed += delay_ms;
+                }
+            }
+            if elapsed > retry.deadline_ms {
+                break;
+            }
+
+            // --- local training in the silo -----------------------------
+            let theta = self.local_update(k)?;
+
+            // --- uplink: round-tagged, checksummed envelope -------------
+            let p = &self.parties[k];
+            let mut env = Envelope::new(round, k, p.x.rows(), theta.as_slice().to_vec());
+            let up_meta = MessageMeta {
+                round,
+                party: k,
+                direction: Direction::Up,
+                attempt,
+                bytes,
+            };
+            self.comm.record_attempt(Direction::Up, bytes);
+            match self.transport.fate(&up_meta) {
+                Fate::Dropped => {
+                    self.comm.drops += 1;
+                    elapsed += retry.attempt_timeout_ms;
+                    continue;
+                }
+                Fate::Corrupted { delay_ms } => {
+                    env.corrupt_in_flight(self.config.seed ^ (round as u64) << 16 ^ attempt as u64);
+                    debug_assert!(!env.verify());
+                    self.comm.corrupt_rejected += 1;
+                    if delay_ms > rtt {
+                        self.comm.stragglers += 1;
+                    }
+                    elapsed += delay_ms.max(retry.attempt_timeout_ms);
+                    continue;
+                }
+                Fate::Stale {
+                    delay_ms,
+                    stale_round,
+                } => {
+                    env.round = stale_round;
+                    debug_assert!(env.round != round);
+                    self.comm.stale_rejected += 1;
+                    if delay_ms > rtt {
+                        self.comm.stragglers += 1;
+                    }
+                    elapsed += delay_ms.max(retry.attempt_timeout_ms);
+                    continue;
+                }
+                Fate::Delivered { delay_ms, copies } => {
+                    self.comm
+                        .record_duplicates(Direction::Up, bytes, copies - 1);
+                    if delay_ms > rtt {
+                        self.comm.stragglers += 1;
+                    }
+                    elapsed += delay_ms;
+                    if elapsed > retry.deadline_ms {
+                        // The straggler's update landed after the round
+                        // closed — too late to aggregate.
+                        break;
+                    }
+                    // Accept: tag and integrity both check out.
+                    if env.round == round && env.verify() {
+                        return Ok(PartyRoundOutcome::Responded(DenseMatrix::column_vector(
+                            &env.payload,
+                        )));
+                    }
+                    // Unreachable on honest transports; count and retry.
+                    self.comm.corrupt_rejected += 1;
+                }
+            }
+        }
+        self.comm.timeouts += 1;
+        Ok(PartyRoundOutcome::Missing)
+    }
+
+    /// The silo-side computation: `local_epochs` GD steps from the
+    /// current global model, optionally privatized before upload.
+    fn local_update(&mut self, k: usize) -> Result<DenseMatrix> {
+        let p = &self.parties[k];
+        let mut theta = self.global.clone();
+        let n_local = p.x.rows().max(1) as f64;
+        for _ in 0..self.config.local_epochs {
+            let resid = p.x.matmul(&theta)?.sub(&p.y)?;
+            let grad = p.x.transpose_matmul(&resid)?;
+            theta.axpy_assign(-self.config.learning_rate / n_local, &grad)?;
+        }
+        if let Some(m) = &self.mechanism {
+            m.privatize(theta.as_mut_slice(), &mut self.rng);
+        }
+        Ok(theta)
+    }
+}
+
+/// Shared input validation; returns the feature dimension `d`.
+fn validate(parties: &[PartySamples], config: &HflConfig) -> Result<usize> {
     if parties.is_empty() || config.rounds == 0 || config.local_epochs == 0 {
         return Err(FederatedError::InvalidConfig(
             "need parties, rounds and local epochs".into(),
         ));
     }
+    if config.retry.max_attempts == 0 {
+        return Err(FederatedError::InvalidConfig(
+            "retry policy needs at least one attempt".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.quorum.min_fraction) {
+        return Err(FederatedError::InvalidConfig(format!(
+            "quorum fraction {} is not in [0, 1]",
+            config.quorum.min_fraction
+        )));
+    }
     let d = parties[0].x.cols();
+    if d == 0 {
+        return Err(FederatedError::Misaligned(
+            "parties have zero feature columns".into(),
+        ));
+    }
     let total_rows: usize = parties.iter().map(|p| p.x.rows()).sum();
     if total_rows == 0 {
         return Err(FederatedError::InvalidConfig("no training rows".into()));
@@ -100,60 +549,43 @@ pub fn train_fedavg(parties: &[PartySamples], config: &HflConfig) -> Result<HflR
             )));
         }
     }
-    let mechanism = match config.dp {
-        Some((sensitivity, epsilon)) => Some(LaplaceMechanism::new(sensitivity, epsilon)?),
-        None => None,
-    };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    Ok(d)
+}
 
-    let mut global = DenseMatrix::zeros(d, 1);
-    let mut loss_history = Vec::with_capacity(config.rounds);
-    let mut comm = CommStats::default();
+/// Runs FedAvg over the silos on a perfectly reliable in-process
+/// network (the pre-fault-model behavior).
+///
+/// # Errors
+/// * [`FederatedError::InvalidConfig`] for empty inputs or bad DP params.
+/// * [`FederatedError::Misaligned`] for inconsistent feature widths or
+///   label shapes.
+pub fn train_fedavg(parties: &[PartySamples], config: &HflConfig) -> Result<HflResult> {
+    let mut transport = ReliableTransport;
+    train_fedavg_with_transport(parties, config, &mut transport)
+}
 
-    for _round in 0..config.rounds {
-        // Global loss over the union before the round (for the history).
-        let mut loss = 0.0;
-        for p in parties {
-            let resid = p.x.matmul(&global)?.sub(&p.y)?;
-            loss += resid.frobenius_norm_sq();
-        }
-        loss_history.push(loss / (2.0 * total_rows as f64));
-
-        // Local training in each silo.
-        let mut aggregate = DenseMatrix::zeros(d, 1);
-        for p in parties {
-            comm.bytes_down += d * 8; // broadcast of the global model
-            comm.messages += 1;
-            let mut theta = global.clone();
-            let n_local = p.x.rows().max(1) as f64;
-            for _ in 0..config.local_epochs {
-                let resid = p.x.matmul(&theta)?.sub(&p.y)?;
-                let grad = p.x.transpose_matmul(&resid)?;
-                theta.axpy_assign(-config.learning_rate / n_local, &grad)?;
-            }
-            // Optionally privatize the update before it leaves the silo.
-            if let Some(m) = &mechanism {
-                m.privatize(theta.as_mut_slice(), &mut rng);
-            }
-            comm.bytes_up += d * 8;
-            comm.messages += 1;
-            // Weighted contribution to the average.
-            aggregate.axpy_assign(p.x.rows() as f64 / total_rows as f64, &theta)?;
-        }
-        global = aggregate;
+/// Runs FedAvg over the silos on the given transport, with the full
+/// retry/quorum machinery (see the module docs).
+///
+/// # Errors
+/// Validation errors as in [`train_fedavg`], plus
+/// [`FederatedError::QuorumLost`] when the quorum policy gives up.
+pub fn train_fedavg_with_transport<T: Transport>(
+    parties: &[PartySamples],
+    config: &HflConfig,
+    transport: &mut T,
+) -> Result<HflResult> {
+    let mut orchestrator = FedAvgOrchestrator::new(parties, config, transport)?;
+    while !orchestrator.is_done() {
+        orchestrator.step()?;
     }
-
-    Ok(HflResult {
-        global,
-        loss_history,
-        comm,
-    })
+    Ok(orchestrator.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use rand::{Rng, SeedableRng};
 
     /// Splits a common linear dataset across `k` silos.
     fn silos(
@@ -223,13 +655,11 @@ mod tests {
     fn unequal_silos_still_converge() {
         let (mut parties, _, _) = silos(2, 60, 2);
         // Shrink the second silo to 10 rows.
-        let small_rows: Vec<usize> = (0..10).collect();
         parties[1] = PartySamples {
             name: parties[1].name.clone(),
             x: parties[1].x.slice(0..10, 0..3).unwrap(),
             y: DenseMatrix::column_vector(&parties[1].y.col(0)[..10]),
         };
-        let _ = small_rows;
         let config = HflConfig {
             rounds: 200,
             local_epochs: 3,
@@ -314,6 +744,43 @@ mod tests {
             }
         )
         .is_err());
+        // Degenerate retry/quorum policies are typed errors, not hangs.
+        assert!(matches!(
+            train_fedavg(
+                &parties,
+                &HflConfig {
+                    retry: RetryPolicy {
+                        max_attempts: 0,
+                        ..RetryPolicy::default()
+                    },
+                    ..HflConfig::default()
+                }
+            ),
+            Err(FederatedError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            train_fedavg(
+                &parties,
+                &HflConfig {
+                    quorum: QuorumPolicy {
+                        min_fraction: 1.5,
+                        patience: 1
+                    },
+                    ..HflConfig::default()
+                }
+            ),
+            Err(FederatedError::InvalidConfig(_))
+        ));
+        // Zero-width features degrade instead of panicking downstream.
+        let zero_d = vec![PartySamples {
+            name: "empty".into(),
+            x: DenseMatrix::zeros(4, 0),
+            y: DenseMatrix::zeros(4, 1),
+        }];
+        assert!(matches!(
+            train_fedavg(&zero_d, &HflConfig::default()),
+            Err(FederatedError::Misaligned(_))
+        ));
     }
 
     #[test]
@@ -334,5 +801,54 @@ mod tests {
         let long = run(10);
         assert_eq!(long.total_bytes(), short.total_bytes() * 2);
         assert_eq!(long.messages, short.messages * 2);
+        // A reliable run records no fault handling at all.
+        assert_eq!(long.fault_events(), 0);
+        assert_eq!(long.retries, 0);
+        assert_eq!(long.rounds_degraded, 0);
+    }
+
+    #[test]
+    fn quorum_policy_needed_rounds_up() {
+        let q = QuorumPolicy {
+            min_fraction: 2.0 / 3.0,
+            patience: 1,
+        };
+        assert_eq!(q.needed(3), 2);
+        assert_eq!(q.needed(4), 3);
+        assert_eq!(q.needed(6), 4);
+        assert_eq!(
+            QuorumPolicy {
+                min_fraction: 0.0,
+                patience: 1
+            }
+            .needed(5),
+            1,
+            "at least one responder is always required"
+        );
+    }
+
+    #[test]
+    fn orchestrator_steps_match_wrapper() {
+        let (parties, _, _) = silos(3, 20, 7);
+        let config = HflConfig {
+            rounds: 12,
+            learning_rate: 0.2,
+            ..HflConfig::default()
+        };
+        let whole = train_fedavg(&parties, &config).unwrap();
+        let mut transport = ReliableTransport;
+        let mut orch = FedAvgOrchestrator::new(&parties, &config, &mut transport).unwrap();
+        assert_eq!(orch.round(), 0);
+        while !orch.is_done() {
+            orch.step().unwrap();
+        }
+        let stepped = orch.finish();
+        assert_eq!(
+            whole.global.as_slice(),
+            stepped.global.as_slice(),
+            "step-by-step execution must be bit-identical to the wrapper"
+        );
+        assert_eq!(whole.loss_history, stepped.loss_history);
+        assert_eq!(whole.comm, stepped.comm);
     }
 }

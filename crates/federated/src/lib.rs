@@ -22,18 +22,62 @@
 //! Parties run as real threads connected to the orchestrator by
 //! `crossbeam` channels — message counts and byte volumes are observable,
 //! which is what the §V-B encryption-overhead study measures.
+//!
+//! # Fault model
+//!
+//! Real federations run over WANs that drop, delay, duplicate, and
+//! corrupt traffic, and silos crash. Three modules make the
+//! orchestrators survive that:
+//!
+//! * [`transport`] — the **transport contract**. Every message attempt
+//!   is submitted to a [`Transport`], which assigns it a
+//!   [`transport::Fate`] (delivered with a delay and a copy count,
+//!   dropped, corrupted, or stale). The contract requires fates to be
+//!   **pure functions of the message identity** (round, party,
+//!   direction, attempt) — a transport may not keep hidden mutable
+//!   state — which is what makes whole training trajectories
+//!   reproducible from a seed and lets checkpoints skip transport
+//!   state entirely. Time is virtual: delays and timeouts are
+//!   milliseconds of simulated clock, so tests never sleep.
+//!   [`ReliableTransport`] is the zero-fault instance.
+//! * [`faults`] — [`FaultyTransport`] executes a seeded [`FaultPlan`]
+//!   (drop/straggler/duplicate/corrupt/stale probabilities plus
+//!   per-party [`faults::CrashWindow`]s) under that contract.
+//! * [`checkpoint`] — round-level snapshots. The **checkpoint format**
+//!   (`amalur-fedavg-checkpoint/v1`) is JSON with every float stored
+//!   as its IEEE-754 bit pattern in hex, so a killed run resumed from
+//!   its last checkpoint finishes **bit-identical** to an
+//!   uninterrupted one.
+//!
+//! **Quorum semantics**: a FedAvg round aggregates when at least
+//! `ceil(min_fraction · n)` parties (never fewer than one) deliver a
+//! valid, round-tagged update before the round deadline; the average is
+//! reweighted by the *responding* sample counts. A below-quorum round
+//! leaves the model unchanged, and after `patience` consecutive misses
+//! the run fails fast with [`FederatedError::QuorumLost`] rather than
+//! hang. All of this is accounted in [`CommStats`], which counts every
+//! wire attempt (retries and duplicates included).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod align;
+pub mod checkpoint;
 mod error;
+pub mod faults;
 pub mod hfl;
 mod protocol;
+pub mod transport;
 pub mod vfl;
 
 pub use align::{party_views, PartyView};
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use error::{FederatedError, Result};
-pub use hfl::{train_fedavg, HflConfig, HflResult, PartySamples};
+pub use faults::{FaultPlan, FaultyTransport};
+pub use hfl::{
+    train_fedavg, train_fedavg_with_transport, FedAvgOrchestrator, HflConfig, HflResult,
+    PartySamples, QuorumPolicy, RetryPolicy,
+};
 pub use protocol::{CommStats, PrivacyMode};
-pub use vfl::{train_vfl, VflConfig, VflResult};
+pub use transport::{ReliableTransport, Transport};
+pub use vfl::{train_vfl, train_vfl_with_transport, VflConfig, VflResult};

@@ -30,19 +30,53 @@ impl std::fmt::Display for PrivacyMode {
     }
 }
 
-/// Communication and crypto-time accounting for one training run —
-/// the observable side of §V-B's "how much overhead will the encryption
-/// bring" question.
-#[derive(Debug, Clone, Copy, Default)]
+/// Communication, crypto-time and fault-handling accounting for one
+/// training run — the observable side of §V-B's "how much overhead will
+/// the encryption bring" question, extended with the overhead of
+/// surviving an unreliable network.
+///
+/// # Accounting semantics (pinned by `per_attempt_accounting`)
+///
+/// Traffic counters measure the *wire*, not the application:
+///
+/// * every send **attempt** counts its bytes and one message, whether
+///   or not the network delivers it — a dropped message still consumed
+///   uplink bandwidth;
+/// * a duplicated delivery counts each extra copy's bytes and message,
+///   because the network really did carry it twice;
+/// * retransmissions of the same logical payload therefore appear once
+///   per attempt, never coalesced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Total bytes sent by parties to the orchestrator.
     pub bytes_up: usize,
     /// Total bytes broadcast from the orchestrator to parties.
     pub bytes_down: usize,
-    /// Number of protocol messages exchanged.
+    /// Number of protocol messages put on the wire.
     pub messages: usize,
     /// Wall time spent in encryption/decryption/share arithmetic.
     pub crypto_time: std::time::Duration,
+    /// Retry attempts beyond the first, across all logical messages.
+    pub retries: usize,
+    /// Message attempts the network dropped.
+    pub drops: usize,
+    /// Party-rounds lost to a missed deadline or an exhausted retry
+    /// budget.
+    pub timeouts: usize,
+    /// Deliveries that arrived slower than the base RTT.
+    pub stragglers: usize,
+    /// Redundant copies of already-delivered messages.
+    pub duplicates: usize,
+    /// Envelopes rejected because their checksum failed.
+    pub corrupt_rejected: usize,
+    /// Envelopes rejected because their round tag was stale.
+    pub stale_rejected: usize,
+    /// Party-rounds lost to a crash window.
+    pub crash_outages: usize,
+    /// Rounds aggregated with a quorum but below full participation.
+    pub rounds_degraded: usize,
+    /// Rounds skipped entirely because quorum was not reached.
+    pub rounds_skipped: usize,
 }
 
 impl CommStats {
@@ -50,11 +84,51 @@ impl CommStats {
     pub fn total_bytes(&self) -> usize {
         self.bytes_up + self.bytes_down
     }
+
+    /// All fault-handling events: how noisy the network was, summed.
+    pub fn fault_events(&self) -> usize {
+        self.drops
+            + self.timeouts
+            + self.stragglers
+            + self.duplicates
+            + self.corrupt_rejected
+            + self.stale_rejected
+            + self.crash_outages
+    }
+
+    /// Records one send attempt of `bytes` in `direction` — see the
+    /// accounting semantics in the type docs.
+    pub(crate) fn record_attempt(&mut self, direction: crate::transport::Direction, bytes: usize) {
+        match direction {
+            crate::transport::Direction::Down => self.bytes_down += bytes,
+            crate::transport::Direction::Up => self.bytes_up += bytes,
+        }
+        self.messages += 1;
+    }
+
+    /// Records `extra` duplicated deliveries of a `bytes`-sized message.
+    pub(crate) fn record_duplicates(
+        &mut self,
+        direction: crate::transport::Direction,
+        bytes: usize,
+        extra: usize,
+    ) {
+        if extra == 0 {
+            return;
+        }
+        match direction {
+            crate::transport::Direction::Down => self.bytes_down += bytes * extra,
+            crate::transport::Direction::Up => self.bytes_up += bytes * extra,
+        }
+        self.messages += extra;
+        self.duplicates += extra;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Direction;
 
     #[test]
     fn display_modes() {
@@ -73,7 +147,35 @@ mod tests {
             bytes_down: 5,
             messages: 3,
             crypto_time: std::time::Duration::from_millis(1),
+            ..CommStats::default()
         };
         assert_eq!(s.total_bytes(), 15);
+        assert_eq!(s.fault_events(), 0);
+    }
+
+    /// Pins the per-attempt semantics: a retried uplink message counts
+    /// bytes and messages once per attempt (including the dropped
+    /// ones), and a duplicated delivery counts every extra copy.
+    #[test]
+    fn per_attempt_accounting() {
+        let mut s = CommStats::default();
+        // Attempt 1: dropped by the network — bandwidth still spent.
+        s.record_attempt(Direction::Up, 80);
+        s.drops += 1;
+        // Attempt 2 (retry): delivered twice.
+        s.retries += 1;
+        s.record_attempt(Direction::Up, 80);
+        s.record_duplicates(Direction::Up, 80, 1);
+        assert_eq!(s.bytes_up, 240, "two attempts + one duplicate copy");
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.duplicates, 1);
+        // Downlink attempts land on the other counter.
+        s.record_attempt(Direction::Down, 100);
+        s.record_duplicates(Direction::Down, 100, 0); // no-op
+        assert_eq!(s.bytes_down, 100);
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.total_bytes(), 340);
     }
 }

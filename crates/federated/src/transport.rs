@@ -1,0 +1,366 @@
+//! The wire between parties and the orchestrator.
+//!
+//! Every party↔orchestrator message in the federated protocols rides on
+//! a [`Transport`]. The transport does not move bytes — parties are
+//! in-process — it *decides the fate* of each message attempt: delivered
+//! (after how much virtual delay, how many duplicated copies), dropped,
+//! corrupted in flight, or delivered with a stale round tag. The
+//! orchestrator enforces deadlines, retries with exponential backoff,
+//! verifies [`Envelope`] checksums and round tags, and degrades to
+//! quorum aggregation — so the full failure-handling path is exercised
+//! without sockets or real sleeps.
+//!
+//! Two implementations ship with the crate:
+//!
+//! * [`ReliableTransport`] — every attempt is delivered once after one
+//!   RTT; the pre-fault-model behavior.
+//! * [`crate::FaultyTransport`] — deterministic, seed-driven fault
+//!   injection from a [`crate::FaultPlan`].
+//!
+//! Determinism contract: a transport's fate for a message must be a
+//! pure function of the message's [`MessageMeta`] (plus the transport's
+//! own immutable configuration). This is what makes checkpoint/resume
+//! bit-identical: replaying round `r` after a resume consults the
+//! transport with the same metadata and gets the same answers.
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Direction of a message on the (virtual) wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Orchestrator → party (model broadcast, requests).
+    Down,
+    /// Party → orchestrator (updates, partial results, acks).
+    Up,
+}
+
+/// Metadata identifying one delivery attempt of one logical message.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageMeta {
+    /// Training round (or epoch) the message belongs to.
+    pub round: usize,
+    /// Party index.
+    pub party: usize,
+    /// Wire direction.
+    pub direction: Direction,
+    /// Zero-based retry attempt for this logical message.
+    pub attempt: usize,
+    /// Payload size in bytes (for traffic accounting).
+    pub bytes: usize,
+}
+
+/// What the transport did with one message attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The message arrived after `delay_ms` of virtual time, `copies`
+    /// (≥ 1) times — the network may replay a message it already
+    /// delivered, and receivers must deduplicate.
+    Delivered {
+        /// Virtual one-way latency in milliseconds.
+        delay_ms: u64,
+        /// Number of delivered copies (1 = normal, ≥ 2 = duplicated).
+        copies: usize,
+    },
+    /// The message never arrived; the sender only learns via timeout.
+    Dropped,
+    /// The message arrived but its payload was damaged in flight — the
+    /// receiver's checksum verification fails and the message is
+    /// discarded.
+    Corrupted {
+        /// Virtual one-way latency in milliseconds.
+        delay_ms: u64,
+    },
+    /// The message arrived carrying a stale round tag (a delayed
+    /// retransmission from an earlier round); receivers reject it by
+    /// tag comparison.
+    Stale {
+        /// Virtual one-way latency in milliseconds.
+        delay_ms: u64,
+        /// The round tag the envelope arrives with.
+        stale_round: usize,
+    },
+}
+
+/// A pluggable network between the orchestrator and the parties.
+pub trait Transport {
+    /// Decides the fate of one message attempt. Must be deterministic
+    /// in `meta` (see the module docs).
+    fn fate(&mut self, meta: &MessageMeta) -> Fate;
+
+    /// Whether `party` is up during `round` (crash/recovery schedule).
+    /// Unavailable parties neither receive nor send anything.
+    fn available(&self, _party: usize, _round: usize) -> bool {
+        true
+    }
+
+    /// Base one-way latency in virtual milliseconds; deliveries slower
+    /// than this count as stragglers.
+    fn rtt_ms(&self) -> u64 {
+        DEFAULT_RTT_MS
+    }
+}
+
+/// Default virtual one-way latency.
+pub const DEFAULT_RTT_MS: u64 = 50;
+
+/// The perfectly reliable in-process network: every attempt is
+/// delivered exactly once after one RTT.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReliableTransport;
+
+impl Transport for ReliableTransport {
+    fn fate(&mut self, _meta: &MessageMeta) -> Fate {
+        Fate::Delivered {
+            delay_ms: DEFAULT_RTT_MS,
+            copies: 1,
+        }
+    }
+}
+
+/// A round-tagged, checksummed model payload — what actually travels
+/// on the uplink in fault-tolerant FedAvg.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Round the payload was computed for.
+    pub round: usize,
+    /// Sending party.
+    pub party: usize,
+    /// Sample count backing the update (quorum reweighting).
+    pub samples: usize,
+    /// The model coefficients.
+    pub payload: Vec<f64>,
+    /// FNV-1a over the round tag, party, sample count and payload bits.
+    pub checksum: u64,
+}
+
+impl Envelope {
+    /// Seals a payload with its integrity checksum.
+    pub fn new(round: usize, party: usize, samples: usize, payload: Vec<f64>) -> Self {
+        let checksum = envelope_checksum(round, party, samples, &payload);
+        Self {
+            round,
+            party,
+            samples,
+            payload,
+            checksum,
+        }
+    }
+
+    /// Whether the envelope survived the wire intact.
+    pub fn verify(&self) -> bool {
+        envelope_checksum(self.round, self.party, self.samples, &self.payload) == self.checksum
+    }
+
+    /// Simulates in-flight damage: perturbs one payload value (chosen
+    /// by `salt`) without fixing up the checksum, so [`Self::verify`]
+    /// fails.
+    pub fn corrupt_in_flight(&mut self, salt: u64) {
+        if self.payload.is_empty() {
+            // No payload bits to flip — damage the tag instead.
+            self.checksum ^= 1;
+            return;
+        }
+        let idx = (salt as usize) % self.payload.len();
+        let bits = self.payload[idx].to_bits() ^ (1u64 << (salt % 52));
+        self.payload[idx] = f64::from_bits(bits);
+    }
+}
+
+/// FNV-1a over the envelope's identifying fields and payload bits.
+fn envelope_checksum(round: usize, party: usize, samples: usize, payload: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    mix(round as u64);
+    mix(party as u64);
+    mix(samples as u64);
+    for &v in payload {
+        mix(v.to_bits());
+    }
+    h
+}
+
+/// A seeded RNG that counts its draws, so its exact position in the
+/// stream can be checkpointed and restored (resume fast-forwards a
+/// fresh stream by `draws` steps). This is the "RNG cursor" recorded in
+/// [`crate::Checkpoint`].
+#[derive(Debug, Clone)]
+pub struct CursorRng {
+    rng: rand::rngs::StdRng,
+    seed: u64,
+    draws: u64,
+}
+
+impl CursorRng {
+    /// A fresh stream at position zero.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
+        }
+    }
+
+    /// Rebuilds the stream at a checkpointed position.
+    pub fn restore(seed: u64, draws: u64) -> Self {
+        let mut rng = Self::new(seed);
+        for _ in 0..draws {
+            let _ = rng.next_u64();
+        }
+        debug_assert_eq!(rng.draws, draws);
+        rng
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many 64-bit values have been drawn so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl RngCore for CursorRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.rng.next_u64()
+    }
+}
+
+/// Deterministic per-decision stream: hashes the identifying fields
+/// into a seed so every (seed, round, party, direction, attempt, salt)
+/// tuple gets an independent, reproducible generator. Fault injection
+/// and backoff jitter both draw from streams built here, which is what
+/// keeps them pure functions of the message identity.
+pub fn decision_rng(
+    seed: u64,
+    round: usize,
+    party: usize,
+    direction: Direction,
+    attempt: usize,
+    salt: u64,
+) -> rand::rngs::StdRng {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut mix = |v: u64| {
+        h ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
+    };
+    mix(round as u64);
+    mix(party as u64);
+    mix(match direction {
+        Direction::Down => 1,
+        Direction::Up => 2,
+    });
+    mix(attempt as u64);
+    mix(salt);
+    rand::rngs::StdRng::seed_from_u64(h)
+}
+
+/// Deterministic exponential backoff with jitter, in virtual
+/// milliseconds, for retry `attempt` (≥ 1) of a message.
+pub fn backoff_ms(
+    base_ms: u64,
+    jitter: f64,
+    seed: u64,
+    round: usize,
+    party: usize,
+    attempt: usize,
+) -> u64 {
+    let exp = base_ms.saturating_mul(1u64 << (attempt - 1).min(16));
+    let u: f64 = decision_rng(seed, round, party, Direction::Down, attempt, 0x0BAC_C0FF).gen();
+    (exp as f64 * (1.0 + jitter * u)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_always_delivers_once() {
+        let mut t = ReliableTransport;
+        for round in 0..5 {
+            for attempt in 0..3 {
+                let meta = MessageMeta {
+                    round,
+                    party: 0,
+                    direction: Direction::Up,
+                    attempt,
+                    bytes: 64,
+                };
+                assert_eq!(
+                    t.fate(&meta),
+                    Fate::Delivered {
+                        delay_ms: DEFAULT_RTT_MS,
+                        copies: 1
+                    }
+                );
+            }
+            assert!(t.available(0, round));
+        }
+    }
+
+    #[test]
+    fn envelope_checksum_catches_damage() {
+        let env = Envelope::new(3, 1, 40, vec![1.0, -2.5, 0.25]);
+        assert!(env.verify());
+        for salt in 0..32 {
+            let mut damaged = env.clone();
+            damaged.corrupt_in_flight(salt);
+            assert!(!damaged.verify(), "salt {salt} produced a valid envelope");
+        }
+        let mut empty = Envelope::new(0, 0, 0, vec![]);
+        assert!(empty.verify());
+        empty.corrupt_in_flight(7);
+        assert!(!empty.verify());
+    }
+
+    #[test]
+    fn envelope_checksum_binds_round_tag() {
+        let env = Envelope::new(3, 1, 40, vec![1.0]);
+        let mut retagged = env.clone();
+        retagged.round = 2; // replayed under an old tag
+        assert!(!retagged.verify());
+    }
+
+    #[test]
+    fn cursor_rng_restores_exact_position() {
+        let mut a = CursorRng::new(99);
+        let prefix: Vec<u64> = (0..17).map(|_| a.next_u64()).collect();
+        assert_eq!(a.draws(), 17);
+        let mut b = CursorRng::restore(99, a.draws());
+        assert_eq!(b.draws(), 17);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let _ = prefix;
+    }
+
+    #[test]
+    fn decision_rng_is_pure_and_distinct() {
+        use rand::Rng;
+        let draw = |round, party, attempt| -> u64 {
+            decision_rng(7, round, party, Direction::Up, attempt, 1).gen()
+        };
+        assert_eq!(draw(0, 0, 0), draw(0, 0, 0));
+        assert_ne!(draw(0, 0, 0), draw(1, 0, 0));
+        assert_ne!(draw(0, 0, 0), draw(0, 1, 0));
+        assert_ne!(draw(0, 0, 0), draw(0, 0, 1));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_is_deterministic() {
+        let b1 = backoff_ms(100, 0.2, 5, 3, 0, 1);
+        let b2 = backoff_ms(100, 0.2, 5, 3, 0, 2);
+        let b3 = backoff_ms(100, 0.2, 5, 3, 0, 3);
+        assert!((100..=120).contains(&b1));
+        assert!((200..=240).contains(&b2));
+        assert!((400..=480).contains(&b3));
+        assert_eq!(b2, backoff_ms(100, 0.2, 5, 3, 0, 2));
+    }
+}

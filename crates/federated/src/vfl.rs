@@ -22,12 +22,29 @@
 //! equivalence the tests assert. Parties run as threads; the
 //! orchestrator never sees raw features, only (protected) partial sums.
 //!
+//! # Fault tolerance
+//!
+//! The two request/response exchanges of every epoch — the
+//! partial-prediction request and the residual broadcast — ride on a
+//! [`Transport`] with the same retry/backoff/deadline machinery as the
+//! FedAvg orchestrator (see [`crate::transport`]). Residual application
+//! is epoch-tagged so a party re-delivered the same residual (because
+//! its ack was lost) applies it exactly once. Unlike FedAvg there is no
+//! partial quorum: every party holds a feature slice nothing else can
+//! substitute, so a party that stays unreachable past its retry budget
+//! fails the run with [`FederatedError::QuorumLost`] (needed = all)
+//! instead of hanging.
+//!
 //! Leakage model: the residual is revealed to all parties each epoch
 //! (as in the reference protocol's simplified variants); secret-share
 //! routing passes through the orchestrator, standing in for pairwise
-//! party channels. Both are documented simplifications of \[35\].
+//! party channels, and — like Paillier key distribution — is treated as
+//! part of the reliable aggregation fabric rather than the faulty wire.
+//! Both are documented simplifications of \[35\].
 
+use crate::hfl::RetryPolicy;
 use crate::protocol::{CommStats, PrivacyMode};
+use crate::transport::{backoff_ms, Direction, Fate, MessageMeta, ReliableTransport, Transport};
 use crate::{FederatedError, Result};
 use amalur_crypto::sharing::{additive, FixedPoint};
 use amalur_crypto::{Ciphertext, KeyPair};
@@ -49,6 +66,8 @@ pub struct VflConfig {
     pub privacy: PrivacyMode,
     /// RNG seed (share randomness, Paillier key generation).
     pub seed: u64,
+    /// Retry/timeout/backoff policy for the per-epoch exchanges.
+    pub retry: RetryPolicy,
 }
 
 impl Default for VflConfig {
@@ -59,6 +78,7 @@ impl Default for VflConfig {
             l2: 0.0,
             privacy: PrivacyMode::Plaintext,
             seed: 42,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -102,8 +122,10 @@ enum ToParty {
     ComputePartial,
     /// (Secret sharing) shares routed to this party, one vector per peer.
     ReceiveShares(Vec<Vec<u64>>),
-    /// Residual broadcast; update local coefficients.
-    ApplyResidual(Vec<f64>),
+    /// Epoch-tagged residual broadcast; update local coefficients.
+    /// Re-delivery of an already-applied epoch is acked but not
+    /// re-applied (retry idempotence).
+    ApplyResidual(usize, Vec<f64>),
     /// Training is over; surrender the local model.
     Finish,
 }
@@ -131,6 +153,8 @@ struct PartyRuntime {
     rng: rand::rngs::StdRng,
     /// Shares received from peers this round (summed locally).
     pending_share_sum: Option<Vec<u64>>,
+    /// Last epoch whose residual was applied (retry dedup).
+    last_applied_epoch: Option<usize>,
     inbox: Receiver<ToParty>,
     outbox: Sender<FromParty>,
 }
@@ -152,8 +176,11 @@ impl PartyRuntime {
                     }
                     self.send(FromParty::ShareSum(sum))?;
                 }
-                ToParty::ApplyResidual(d) => {
-                    self.apply_residual(&d)?;
+                ToParty::ApplyResidual(epoch, d) => {
+                    if self.last_applied_epoch != Some(epoch) {
+                        self.apply_residual(&d)?;
+                        self.last_applied_epoch = Some(epoch);
+                    }
                     self.send(FromParty::Ack)?;
                 }
                 ToParty::Finish => {
@@ -185,7 +212,9 @@ impl PartyRuntime {
                     }
                 }
                 // Convention: the last bundle is retained locally.
-                let own = bundles.pop().expect("n_parties >= 1");
+                let own = bundles.pop().ok_or_else(|| {
+                    FederatedError::Protocol("share split produced no bundles".into())
+                })?;
                 self.pending_share_sum = Some(own);
                 self.send(FromParty::ShareBundle(bundles))
             }
@@ -221,7 +250,141 @@ impl PartyRuntime {
     }
 }
 
-/// Trains vertical federated linear regression.
+/// The bytes a reply occupies on the wire.
+fn reply_wire_bytes(msg: &FromParty, paillier_modulus_bits: usize) -> usize {
+    match msg {
+        FromParty::Partial(v) => v.len() * 8,
+        FromParty::ShareBundle(bundles) => bundles.iter().map(|b| b.len() * 8).sum(),
+        FromParty::PartialCipher(c) => c.len() * paillier_modulus_bits / 4, // |n²| bits
+        FromParty::ShareSum(v) => v.len() * 8,
+        FromParty::Ack | FromParty::Theta(_) => 0,
+    }
+}
+
+/// One request/response exchange with a party over the faulty wire:
+/// retry with backoff under a virtual deadline, per-attempt accounting.
+/// `Ok(None)` means the party never got a valid reply through in time.
+///
+/// The in-process channels are kept in sync by construction: a request
+/// whose downlink fate is a drop is never actually sent (the party
+/// never replies), and a reply whose uplink fate is a drop/corruption
+/// is received and discarded before the retry re-sends the request.
+#[allow(clippy::too_many_arguments)]
+fn exchange<T: Transport>(
+    transport: &mut T,
+    comm: &mut CommStats,
+    retry: &RetryPolicy,
+    seed: u64,
+    round: usize,
+    party: usize,
+    request_bytes: usize,
+    send_request: &mut dyn FnMut() -> Result<()>,
+    recv_reply: &mut dyn FnMut() -> Result<(FromParty, usize)>,
+) -> Result<Option<FromParty>> {
+    if !transport.available(party, round) {
+        comm.crash_outages += 1;
+        return Ok(None);
+    }
+    let rtt = transport.rtt_ms();
+    let mut elapsed: u64 = 0;
+    for attempt in 0..retry.max_attempts {
+        if attempt > 0 {
+            comm.retries += 1;
+            elapsed += backoff_ms(
+                retry.backoff_base_ms,
+                retry.backoff_jitter,
+                seed,
+                round,
+                party,
+                attempt,
+            );
+        }
+        if elapsed > retry.deadline_ms {
+            break;
+        }
+        let down = MessageMeta {
+            round,
+            party,
+            direction: Direction::Down,
+            attempt,
+            bytes: request_bytes,
+        };
+        comm.record_attempt(Direction::Down, request_bytes);
+        match transport.fate(&down) {
+            Fate::Dropped => {
+                comm.drops += 1;
+                elapsed += retry.attempt_timeout_ms;
+                continue;
+            }
+            Fate::Corrupted { delay_ms } | Fate::Stale { delay_ms, .. } => {
+                // The party discards the damaged request and stays silent.
+                comm.corrupt_rejected += 1;
+                if delay_ms > rtt {
+                    comm.stragglers += 1;
+                }
+                elapsed += delay_ms.max(retry.attempt_timeout_ms);
+                continue;
+            }
+            Fate::Delivered { delay_ms, copies } => {
+                // Duplicate requests are accounted but processed once.
+                comm.record_duplicates(Direction::Down, request_bytes, copies - 1);
+                if delay_ms > rtt {
+                    comm.stragglers += 1;
+                }
+                elapsed += delay_ms;
+            }
+        }
+        if elapsed > retry.deadline_ms {
+            break;
+        }
+        send_request()?;
+        let (reply, reply_bytes) = recv_reply()?;
+        let up = MessageMeta {
+            round,
+            party,
+            direction: Direction::Up,
+            attempt,
+            bytes: reply_bytes,
+        };
+        comm.record_attempt(Direction::Up, reply_bytes);
+        match transport.fate(&up) {
+            Fate::Dropped => {
+                comm.drops += 1;
+                elapsed += retry.attempt_timeout_ms;
+            }
+            Fate::Corrupted { delay_ms } => {
+                comm.corrupt_rejected += 1;
+                if delay_ms > rtt {
+                    comm.stragglers += 1;
+                }
+                elapsed += delay_ms.max(retry.attempt_timeout_ms);
+            }
+            Fate::Stale { delay_ms, .. } => {
+                comm.stale_rejected += 1;
+                if delay_ms > rtt {
+                    comm.stragglers += 1;
+                }
+                elapsed += delay_ms.max(retry.attempt_timeout_ms);
+            }
+            Fate::Delivered { delay_ms, copies } => {
+                comm.record_duplicates(Direction::Up, reply_bytes, copies - 1);
+                if delay_ms > rtt {
+                    comm.stragglers += 1;
+                }
+                elapsed += delay_ms;
+                if elapsed > retry.deadline_ms {
+                    break;
+                }
+                return Ok(Some(reply));
+            }
+        }
+    }
+    comm.timeouts += 1;
+    Ok(None)
+}
+
+/// Trains vertical federated linear regression on a perfectly reliable
+/// in-process network.
 ///
 /// * `features` — one aligned feature matrix per party (equal row
 ///   counts; build them with [`crate::align::party_views`]).
@@ -236,12 +399,41 @@ pub fn train_vfl(
     y: &DenseMatrix,
     config: &VflConfig,
 ) -> Result<VflResult> {
+    let mut transport = ReliableTransport;
+    train_vfl_with_transport(features, y, config, &mut transport)
+}
+
+/// Trains vertical federated linear regression over the given
+/// transport, retrying each per-epoch exchange under the configured
+/// [`RetryPolicy`] (see the module docs).
+///
+/// # Errors
+/// Validation errors as in [`train_vfl`], plus
+/// [`FederatedError::QuorumLost`] when any party stays unreachable past
+/// its retry budget — VFL needs every feature slice, so `needed` always
+/// equals the party count.
+pub fn train_vfl_with_transport<T: Transport>(
+    features: &[DenseMatrix],
+    y: &DenseMatrix,
+    config: &VflConfig,
+    transport: &mut T,
+) -> Result<VflResult> {
     if features.is_empty() || config.epochs == 0 {
         return Err(FederatedError::InvalidConfig(
             "need at least one party and one epoch".into(),
         ));
     }
+    if config.retry.max_attempts == 0 {
+        return Err(FederatedError::InvalidConfig(
+            "retry policy needs at least one attempt".into(),
+        ));
+    }
     let n = features[0].rows();
+    if n == 0 {
+        return Err(FederatedError::Misaligned(
+            "no aligned rows (empty join intersection)".into(),
+        ));
+    }
     for (k, x) in features.iter().enumerate() {
         if x.rows() != n {
             return Err(FederatedError::Misaligned(format!(
@@ -264,6 +456,7 @@ pub fn train_vfl(
         PrivacyMode::Paillier { key_bits } => Some(KeyPair::generate(key_bits, &mut seed_rng)?),
         _ => None,
     };
+    let paillier_bits = keypair.as_ref().map_or(0, |kp| kp.public.modulus_bits());
     let fp = FixedPoint::default();
 
     let mut to_party: Vec<Sender<ToParty>> = Vec::with_capacity(n_parties);
@@ -281,6 +474,10 @@ pub fn train_vfl(
     let mut coefficients: Vec<DenseMatrix> = Vec::new();
 
     std::thread::scope(|scope| -> Result<()> {
+        // Own the senders inside the scope: any early return (e.g.
+        // QuorumLost) drops them, disconnecting the party inboxes so
+        // the scope can join the threads instead of deadlocking.
+        let to_party = to_party;
         // Spawn parties.
         let mut handles = Vec::with_capacity(n_parties);
         for (k, x) in features.iter().enumerate() {
@@ -295,6 +492,7 @@ pub fn train_vfl(
                 paillier_pk: keypair.as_ref().map(|kp| kp.public.clone()),
                 rng: rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(k as u64 + 1)),
                 pending_share_sum: None,
+                last_applied_epoch: None,
                 inbox: inboxes[k].clone(),
                 outbox: from_tx[k].clone(),
             };
@@ -307,22 +505,53 @@ pub fn train_vfl(
                 .recv()
                 .map_err(|_| FederatedError::Protocol(format!("party {k} hung up")))
         };
+        let send = |k: usize, msg: ToParty| -> Result<()> {
+            to_party[k]
+                .send(msg)
+                .map_err(|_| FederatedError::Protocol(format!("party {k} hung up")))
+        };
 
-        for _epoch in 0..config.epochs {
-            for tx in &to_party {
-                tx.send(ToParty::ComputePartial)
-                    .map_err(|_| FederatedError::Protocol("party hung up".into()))?;
-                comm.messages += 1;
+        for epoch in 0..config.epochs {
+            // Phase 1: collect partial predictions, one fault-aware
+            // exchange per party. The fate rounds interleave the two
+            // phases (`2·epoch`, `2·epoch + 1`) so their fault draws
+            // are independent.
+            let mut replies: Vec<FromParty> = Vec::with_capacity(n_parties);
+            for k in 0..n_parties {
+                let got = exchange(
+                    transport,
+                    &mut comm,
+                    &config.retry,
+                    config.seed,
+                    2 * epoch,
+                    k,
+                    0,
+                    &mut || send(k, ToParty::ComputePartial),
+                    &mut || {
+                        let msg = recv(k)?;
+                        let bytes = reply_wire_bytes(&msg, paillier_bits);
+                        Ok((msg, bytes))
+                    },
+                )?;
+                match got {
+                    Some(msg) => replies.push(msg),
+                    None => {
+                        return Err(FederatedError::QuorumLost {
+                            round: epoch,
+                            responded: replies.len(),
+                            needed: n_parties,
+                        })
+                    }
+                }
             }
+
             // Aggregate u = Σ uₖ under the privacy mode.
             let u: Vec<f64> = match config.privacy {
                 PrivacyMode::Plaintext => {
                     let mut acc = vec![0.0; n];
-                    for k in 0..n_parties {
-                        match recv(k)? {
+                    for msg in replies {
+                        match msg {
                             FromParty::Partial(v) => {
-                                comm.bytes_up += v.len() * 8;
-                                comm.messages += 1;
                                 for (a, b) in acc.iter_mut().zip(v) {
                                     *a += b;
                                 }
@@ -333,18 +562,21 @@ pub fn train_vfl(
                     acc
                 }
                 PrivacyMode::SecretShared => {
-                    // Collect bundles: bundle[k][peer] destined to `peer`
+                    // Route bundles: bundle[k][peer] destined to `peer`
                     // (peers indexed over the n−1 others in party order).
                     let started = Instant::now();
                     let mut routed: Vec<Vec<Vec<u64>>> = vec![Vec::new(); n_parties];
-                    for k in 0..n_parties {
-                        match recv(k)? {
+                    for (k, msg) in replies.into_iter().enumerate() {
+                        match msg {
                             FromParty::ShareBundle(bundles) => {
-                                comm.messages += 1;
                                 let mut peer_iter = (0..n_parties).filter(|&p| p != k);
                                 for b in bundles {
-                                    comm.bytes_up += b.len() * 8;
-                                    let p = peer_iter.next().expect("n_parties - 1 bundles");
+                                    let p = peer_iter.next().ok_or_else(|| {
+                                        FederatedError::Protocol(format!(
+                                            "party {k} sent more than {} share bundles",
+                                            n_parties - 1
+                                        ))
+                                    })?;
                                     routed[p].push(b);
                                 }
                             }
@@ -378,13 +610,13 @@ pub fn train_vfl(
                 }
                 PrivacyMode::Paillier { .. } => {
                     let started = Instant::now();
-                    let kp = keypair.as_ref().expect("generated above");
+                    let kp = keypair
+                        .as_ref()
+                        .ok_or_else(|| FederatedError::Protocol("missing keypair".into()))?;
                     let mut acc: Option<Vec<Ciphertext>> = None;
-                    for k in 0..n_parties {
-                        match recv(k)? {
+                    for msg in replies {
+                        match msg {
                             FromParty::PartialCipher(c) => {
-                                comm.bytes_up += c.len() * kp.public.modulus_bits() / 4; // |n²| bits
-                                comm.messages += 1;
                                 acc = Some(match acc {
                                     None => c,
                                     Some(prev) => prev
@@ -401,7 +633,9 @@ pub fn train_vfl(
                             }
                         }
                     }
-                    let cipher_sum = acc.expect("at least one party");
+                    let cipher_sum = acc.ok_or_else(|| {
+                        FederatedError::Protocol("no partial ciphertexts received".into())
+                    })?;
                     let out: Vec<f64> = cipher_sum
                         .iter()
                         .map(|c| kp.private.decrypt_f64(c))
@@ -419,21 +653,37 @@ pub fn train_vfl(
                 .collect();
             let loss = residual.iter().map(|d| d * d).sum::<f64>() / (2.0 * n as f64);
             loss_history.push(loss);
-            for tx in &to_party {
-                comm.bytes_down += residual.len() * 8;
-                comm.messages += 1;
-                tx.send(ToParty::ApplyResidual(residual.clone()))
-                    .map_err(|_| FederatedError::Protocol("party hung up".into()))?;
-            }
+
+            // Phase 2: broadcast the epoch-tagged residual and collect
+            // acks, again one fault-aware exchange per party.
+            let residual_bytes = residual.len() * 8;
             for k in 0..n_parties {
-                match recv(k)? {
-                    FromParty::Ack => comm.messages += 1,
-                    _ => return Err(FederatedError::Protocol("expected Ack".into())),
+                let got = exchange(
+                    transport,
+                    &mut comm,
+                    &config.retry,
+                    config.seed,
+                    2 * epoch + 1,
+                    k,
+                    residual_bytes,
+                    &mut || send(k, ToParty::ApplyResidual(epoch, residual.clone())),
+                    &mut || Ok((recv(k)?, 0)),
+                )?;
+                match got {
+                    Some(FromParty::Ack) => {}
+                    Some(_) => return Err(FederatedError::Protocol("expected Ack".into())),
+                    None => {
+                        return Err(FederatedError::QuorumLost {
+                            round: epoch,
+                            responded: k,
+                            needed: n_parties,
+                        })
+                    }
                 }
             }
         }
 
-        // Collect models.
+        // Collect models (reliable teardown).
         for tx in &to_party {
             tx.send(ToParty::Finish)
                 .map_err(|_| FederatedError::Protocol("party hung up".into()))?;
@@ -463,6 +713,7 @@ pub fn train_vfl(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{CrashWindow, FaultPlan, FaultyTransport};
     use rand::Rng;
 
     /// Two-party aligned features with a planted linear target.
@@ -612,6 +863,17 @@ mod tests {
         let mut bad = features.clone();
         bad[1] = DenseMatrix::zeros(7, 3);
         assert!(train_vfl(&bad, &y, &VflConfig::default()).is_err());
+        let no_retries = VflConfig {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            ..VflConfig::default()
+        };
+        assert!(matches!(
+            train_vfl(&features, &y, &no_retries),
+            Err(FederatedError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -639,6 +901,65 @@ mod tests {
                 "{privacy}: loss {:?}",
                 result.loss_history.last()
             );
+        }
+    }
+
+    /// Plaintext partials are recomputed deterministically, so a lossy
+    /// run that survives its retries lands on the *same* model as the
+    /// reliable run — it only pays retries and retransmitted bytes.
+    #[test]
+    fn faulty_transport_converges_to_reliable_model() {
+        let (features, y, _) = setup(60, 7);
+        let config = VflConfig {
+            epochs: 25,
+            learning_rate: 0.3,
+            // VFL has no partial quorum, so give the exchanges enough
+            // retry budget to ride out a 20% drop rate.
+            retry: RetryPolicy {
+                max_attempts: 10,
+                deadline_ms: 20_000,
+                ..RetryPolicy::default()
+            },
+            ..VflConfig::default()
+        };
+        let clean = train_vfl(&features, &y, &config).unwrap();
+        let mut lossy = FaultyTransport::new(FaultPlan::grid(11, 0.2, 0.1)).unwrap();
+        let faulty = train_vfl_with_transport(&features, &y, &config, &mut lossy).unwrap();
+        for (a, b) in clean.coefficients.iter().zip(&faulty.coefficients) {
+            assert_eq!(a.as_slice(), b.as_slice(), "trajectories diverged");
+        }
+        assert!(faulty.comm.retries > 0, "no retries under 20% drop");
+        assert!(faulty.comm.drops > 0);
+        assert!(faulty.comm.total_bytes() > clean.comm.total_bytes());
+        assert_eq!(clean.comm.fault_events(), 0);
+    }
+
+    /// A permanently crashed party fails the run fast — VFL has no
+    /// partial quorum because every feature slice is irreplaceable.
+    #[test]
+    fn crashed_party_is_quorum_lost_not_a_hang() {
+        let (features, y, _) = setup(30, 8);
+        let config = VflConfig {
+            epochs: 10,
+            learning_rate: 0.3,
+            ..VflConfig::default()
+        };
+        let plan = FaultPlan {
+            crashes: vec![CrashWindow::permanent(1, 0)],
+            ..FaultPlan::reliable(3)
+        };
+        let mut transport = FaultyTransport::new(plan).unwrap();
+        match train_vfl_with_transport(&features, &y, &config, &mut transport) {
+            Err(FederatedError::QuorumLost {
+                round,
+                responded,
+                needed,
+            }) => {
+                assert_eq!(round, 0);
+                assert_eq!(responded, 1);
+                assert_eq!(needed, 2);
+            }
+            other => panic!("expected QuorumLost, got {other:?}"),
         }
     }
 }

@@ -1,0 +1,243 @@
+//! End-to-end fault-tolerance guarantees of the FedAvg orchestrator:
+//! convergence under the ISSUE's drop/straggler grid, fail-fast quorum
+//! loss, bit-identical checkpoint/resume across a simulated kill, crash
+//! windows with recovery, and transport injectability from outside the
+//! crate.
+
+use amalur_federated::faults::CrashWindow;
+use amalur_federated::hfl::{train_fedavg_with_transport, FedAvgOrchestrator, PartySamples};
+use amalur_federated::transport::{Direction, Fate, MessageMeta, Transport, DEFAULT_RTT_MS};
+use amalur_federated::{Checkpoint, FaultPlan, FaultyTransport, FederatedError, HflConfig};
+use amalur_matrix::DenseMatrix;
+use rand::{Rng, SeedableRng};
+
+/// Splits a common linear dataset across `k` equally sized silos.
+fn silos(k: usize, rows_each: usize, seed: u64) -> Vec<PartySamples> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let truth = [2.0, -1.0, 0.5];
+    (0..k)
+        .map(|i| {
+            let x = DenseMatrix::random_uniform(rows_each, 3, -1.0, 1.0, &mut rng);
+            let y: Vec<f64> = (0..rows_each)
+                .map(|r| {
+                    (0..3).map(|c| x.get(r, c) * truth[c]).sum::<f64>() + rng.gen_range(-0.01..0.01)
+                })
+                .collect();
+            PartySamples {
+                name: format!("silo{i}"),
+                x,
+                y: DenseMatrix::column_vector(&y),
+            }
+        })
+        .collect()
+}
+
+fn bits(m: &DenseMatrix) -> Vec<u64> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+/// The ISSUE's acceptance grid: seeded 20% drops + 10% stragglers with
+/// a 2/3 quorum still converges within 1% of the fault-free loss —
+/// deterministically, since the whole schedule hangs off the plan seed.
+#[test]
+fn lossy_grid_converges_within_one_percent_of_fault_free() {
+    let parties = silos(3, 30, 1);
+    let config = HflConfig {
+        rounds: 200,
+        learning_rate: 0.3,
+        ..HflConfig::default()
+    };
+    let mut reliable = FaultyTransport::new(FaultPlan::reliable(9)).unwrap();
+    let clean = train_fedavg_with_transport(&parties, &config, &mut reliable).unwrap();
+    let mut lossy = FaultyTransport::new(FaultPlan::grid(9, 0.2, 0.1)).unwrap();
+    let faulty = train_fedavg_with_transport(&parties, &config, &mut lossy).unwrap();
+
+    let clean_loss = *clean.loss_history.last().unwrap();
+    let faulty_loss = *faulty.loss_history.last().unwrap();
+    assert!(
+        faulty_loss <= clean_loss * 1.01,
+        "faulty final loss {faulty_loss} not within 1% of fault-free {clean_loss}"
+    );
+    // The run actually went through the fault machinery.
+    assert!(faulty.comm.drops > 0, "no drops at 20% drop rate");
+    assert!(faulty.comm.retries > 0);
+    assert!(faulty.comm.stragglers > 0, "no stragglers at 10% rate");
+    assert!(faulty.comm.total_bytes() > clean.comm.total_bytes());
+    // And reruns of the same plan are bit-identical.
+    let mut again = FaultyTransport::new(FaultPlan::grid(9, 0.2, 0.1)).unwrap();
+    let rerun = train_fedavg_with_transport(&parties, &config, &mut again).unwrap();
+    assert_eq!(bits(&faulty.global), bits(&rerun.global));
+    assert_eq!(faulty.comm, rerun.comm);
+}
+
+/// When quorum is unreachable the orchestrator degrades for `patience`
+/// rounds and then returns a typed error — it must never hang or panic.
+#[test]
+fn unreachable_quorum_fails_fast_with_quorum_lost() {
+    let parties = silos(3, 10, 2);
+    let config = HflConfig {
+        rounds: 50,
+        ..HflConfig::default()
+    };
+    let black_hole = FaultPlan {
+        drop_prob: 1.0,
+        ..FaultPlan::reliable(4)
+    };
+    let mut transport = FaultyTransport::new(black_hole).unwrap();
+    match train_fedavg_with_transport(&parties, &config, &mut transport) {
+        Err(FederatedError::QuorumLost {
+            round,
+            responded,
+            needed,
+        }) => {
+            // Default patience is 3: rounds 0..=2 are tolerated misses,
+            // round 3 is one too many.
+            assert_eq!(round, 3);
+            assert_eq!(responded, 0);
+            assert_eq!(needed, 2);
+        }
+        other => panic!("expected QuorumLost, got {other:?}"),
+    }
+}
+
+/// Kill the orchestrator at round 15, serialize the checkpoint to JSON,
+/// "restart" by parsing it back, and finish on a fresh transport with
+/// the same plan. The final model, loss history, and accounting must be
+/// bit-identical to the uninterrupted 40-round run — even with DP noise
+/// in the loop, thanks to the RNG cursor in the checkpoint.
+#[test]
+fn killed_and_resumed_run_is_bit_identical() {
+    let parties = silos(3, 20, 3);
+    let config = HflConfig {
+        rounds: 40,
+        learning_rate: 0.2,
+        dp: Some((0.01, 1.0)),
+        ..HflConfig::default()
+    };
+    let plan = FaultPlan {
+        duplicate_prob: 0.05,
+        corrupt_prob: 0.05,
+        stale_prob: 0.05,
+        ..FaultPlan::grid(13, 0.15, 0.1)
+    };
+
+    let mut t_full = FaultyTransport::new(plan.clone()).unwrap();
+    let full = train_fedavg_with_transport(&parties, &config, &mut t_full).unwrap();
+
+    // First incarnation: run 15 rounds, checkpoint, die.
+    let json = {
+        let mut t = FaultyTransport::new(plan.clone()).unwrap();
+        let mut orch = FedAvgOrchestrator::new(&parties, &config, &mut t).unwrap();
+        while orch.round() < 15 {
+            orch.step().unwrap();
+        }
+        orch.checkpoint().to_json()
+    };
+
+    // Second incarnation: parse, resume, finish.
+    let ck = Checkpoint::from_json(&json).unwrap();
+    assert_eq!(ck.round, 15);
+    let mut t = FaultyTransport::new(plan).unwrap();
+    let mut orch = FedAvgOrchestrator::resume(&parties, &config, &mut t, &ck).unwrap();
+    while !orch.is_done() {
+        orch.step().unwrap();
+    }
+    let resumed = orch.finish();
+
+    assert_eq!(bits(&full.global), bits(&resumed.global), "model diverged");
+    assert_eq!(
+        full.loss_history
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        resumed
+            .loss_history
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        "loss history diverged"
+    );
+    assert_eq!(full.comm, resumed.comm, "accounting diverged");
+}
+
+/// A checkpoint from a different run shape is rejected, not misapplied.
+#[test]
+fn resume_rejects_mismatched_checkpoint() {
+    let parties = silos(2, 10, 4);
+    let config = HflConfig::default();
+    let mut t = FaultyTransport::new(FaultPlan::reliable(0)).unwrap();
+    let orch = FedAvgOrchestrator::new(&parties, &config, &mut t).unwrap();
+    let mut ck = orch.checkpoint();
+    ck.global = vec![0.0; 7]; // wrong dimensionality
+    drop(orch);
+    let mut t2 = FaultyTransport::new(FaultPlan::reliable(0)).unwrap();
+    assert!(matches!(
+        FedAvgOrchestrator::resume(&parties, &config, &mut t2, &ck),
+        Err(FederatedError::Checkpoint(_))
+    ));
+}
+
+/// A party that crashes mid-training degrades the affected rounds and
+/// rejoins afterwards; training still converges.
+#[test]
+fn crash_window_degrades_then_recovers() {
+    let parties = silos(3, 25, 5);
+    let config = HflConfig {
+        rounds: 40,
+        learning_rate: 0.2,
+        ..HflConfig::default()
+    };
+    let plan = FaultPlan {
+        crashes: vec![CrashWindow {
+            party: 2,
+            from_round: 5,
+            until_round: 10,
+        }],
+        ..FaultPlan::reliable(6)
+    };
+    let mut transport = FaultyTransport::new(plan).unwrap();
+    let result = train_fedavg_with_transport(&parties, &config, &mut transport).unwrap();
+    assert_eq!(result.comm.crash_outages, 5, "rounds 5..10 are outages");
+    assert_eq!(result.comm.rounds_degraded, 5);
+    assert_eq!(result.comm.rounds_skipped, 0, "2 of 3 still meets quorum");
+    let final_loss = result.loss_history.last().unwrap();
+    assert!(*final_loss < 0.01, "did not converge: {final_loss}");
+}
+
+/// The transport is injectable from outside the crate: a test-scripted
+/// implementation can target one exact message flow.
+struct ScriptedTransport;
+
+impl Transport for ScriptedTransport {
+    fn fate(&mut self, meta: &MessageMeta) -> Fate {
+        // Black-hole party 0's uplink for all of round 2, deliver
+        // everything else instantly.
+        if meta.round == 2 && meta.party == 0 && meta.direction == Direction::Up {
+            Fate::Dropped
+        } else {
+            Fate::Delivered {
+                delay_ms: DEFAULT_RTT_MS,
+                copies: 1,
+            }
+        }
+    }
+}
+
+#[test]
+fn scripted_transport_targets_one_party_round() {
+    let parties = silos(3, 15, 7);
+    let config = HflConfig {
+        rounds: 6,
+        ..HflConfig::default()
+    };
+    let mut scripted = ScriptedTransport;
+    let result = train_fedavg_with_transport(&parties, &config, &mut scripted).unwrap();
+    // Party 0, round 2: every one of the 4 attempts is dropped on the
+    // way up, so the party times out and exactly that round degrades.
+    assert_eq!(result.comm.drops, 4);
+    assert_eq!(result.comm.retries, 3);
+    assert_eq!(result.comm.timeouts, 1);
+    assert_eq!(result.comm.rounds_degraded, 1);
+    assert_eq!(result.comm.rounds_skipped, 0);
+    assert_eq!(result.comm.stale_rejected, 0);
+}

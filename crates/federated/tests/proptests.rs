@@ -1,0 +1,108 @@
+//! Property tests for the determinism contract of the fault model:
+//! a training trajectory is a pure function of (data, config, plan),
+//! and a zero-fault plan is observationally identical to the reliable
+//! transport.
+
+use amalur_federated::hfl::{train_fedavg, train_fedavg_with_transport, PartySamples};
+use amalur_federated::{FaultPlan, FaultyTransport, HflConfig};
+use amalur_matrix::DenseMatrix;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn silos(k: usize, rows_each: usize, seed: u64) -> Vec<PartySamples> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let truth = [1.0, -2.0, 0.5];
+    (0..k)
+        .map(|i| {
+            let x = DenseMatrix::random_uniform(rows_each, 3, -1.0, 1.0, &mut rng);
+            let y: Vec<f64> = (0..rows_each)
+                .map(|r| {
+                    (0..3).map(|c| x.get(r, c) * truth[c]).sum::<f64>() + rng.gen_range(-0.1..0.1)
+                })
+                .collect();
+            PartySamples {
+                name: format!("p{i}"),
+                x,
+                y: DenseMatrix::column_vector(&y),
+            }
+        })
+        .collect()
+}
+
+fn bits(m: &DenseMatrix) -> Vec<u64> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed + same `FaultPlan` ⇒ bit-identical trajectory: model,
+    /// loss history and every accounting counter — with DP noise and
+    /// the full fault palette in play.
+    #[test]
+    fn same_plan_same_trajectory(
+        data_seed in 0u64..1_000_000,
+        plan_seed in 0u64..1_000_000,
+        drop in 0.0f64..0.3,
+        straggler in 0.0f64..0.3,
+        dup in 0.0f64..0.2,
+    ) {
+        let parties = silos(3, 10, data_seed);
+        let config = HflConfig {
+            rounds: 6,
+            learning_rate: 0.2,
+            dp: Some((0.01, 1.0)),
+            ..HflConfig::default()
+        };
+        let plan = FaultPlan {
+            duplicate_prob: dup,
+            corrupt_prob: 0.05,
+            stale_prob: 0.05,
+            ..FaultPlan::grid(plan_seed, drop, straggler)
+        };
+        let run = || {
+            let mut t = FaultyTransport::new(plan.clone()).unwrap();
+            train_fedavg_with_transport(&parties, &config, &mut t)
+        };
+        // The determinism contract covers failures too: a plan harsh
+        // enough to lose quorum must lose it identically every time.
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(bits(&a.global), bits(&b.global));
+                let la: Vec<u64> = a.loss_history.iter().map(|x| x.to_bits()).collect();
+                let lb: Vec<u64> = b.loss_history.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(la, lb);
+                prop_assert_eq!(a.comm, b.comm);
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "one run failed, one succeeded: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// A `FaultyTransport` with an all-zero plan is *exactly* the
+    /// reliable transport: same model bits, same losses, same byte and
+    /// message counts, zero fault events.
+    #[test]
+    fn zero_fault_plan_equals_reliable_exactly(
+        data_seed in 0u64..1_000_000,
+        plan_seed in 0u64..1_000_000,
+        rounds in 1usize..10,
+    ) {
+        let parties = silos(2, 12, data_seed);
+        let config = HflConfig {
+            rounds,
+            learning_rate: 0.15,
+            dp: Some((0.01, 1.0)),
+            ..HflConfig::default()
+        };
+        let reliable = train_fedavg(&parties, &config).unwrap();
+        let mut zero = FaultyTransport::new(FaultPlan::reliable(plan_seed)).unwrap();
+        let faulty = train_fedavg_with_transport(&parties, &config, &mut zero).unwrap();
+        prop_assert_eq!(bits(&reliable.global), bits(&faulty.global));
+        let lr: Vec<u64> = reliable.loss_history.iter().map(|x| x.to_bits()).collect();
+        let lf: Vec<u64> = faulty.loss_history.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(lr, lf);
+        prop_assert_eq!(reliable.comm, faulty.comm);
+        prop_assert_eq!(faulty.comm.fault_events(), 0);
+    }
+}

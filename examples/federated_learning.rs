@@ -76,7 +76,7 @@ fn main() {
                 learning_rate: lr,
                 l2: 0.0,
                 privacy: mode,
-                seed: 42,
+                ..VflConfig::default()
             },
         )
         .expect("protocol completes");

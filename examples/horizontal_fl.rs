@@ -74,6 +74,7 @@ fn main() {
             learning_rate: 0.1,
             dp,
             seed: 11,
+            ..HflConfig::default()
         };
         let result = train_fedavg(&parties, &config).expect("protocol completes");
         println!(
@@ -98,6 +99,7 @@ fn main() {
             learning_rate: 0.1,
             dp: None,
             seed: 11,
+            ..HflConfig::default()
         },
     )
     .expect("protocol completes");

@@ -66,6 +66,7 @@ fn di_aligned_vfl_equals_centralized_plaintext() {
             l2: 0.0,
             privacy: PrivacyMode::Plaintext,
             seed: 1,
+            ..VflConfig::default()
         },
     )
     .expect("protocol completes");
@@ -98,6 +99,7 @@ fn secret_shared_vfl_has_bounded_quantization_error() {
             l2: 0.0,
             privacy: PrivacyMode::SecretShared,
             seed: 2,
+            ..VflConfig::default()
         },
     )
     .expect("protocol completes");
@@ -134,6 +136,7 @@ fn paillier_vfl_matches_and_reports_encryption_overhead() {
             l2: 0.0,
             privacy: PrivacyMode::Paillier { key_bits: 128 },
             seed: 3,
+            ..VflConfig::default()
         },
     )
     .expect("protocol completes");
@@ -160,6 +163,7 @@ fn paillier_vfl_matches_and_reports_encryption_overhead() {
             l2: 0.0,
             privacy: PrivacyMode::Plaintext,
             seed: 3,
+            ..VflConfig::default()
         },
     )
     .expect("protocol completes");
@@ -199,6 +203,7 @@ fn hfl_over_di_union_equals_centralized() {
             learning_rate: lr,
             dp: None,
             seed: 4,
+            ..HflConfig::default()
         },
     )
     .expect("protocol completes");
