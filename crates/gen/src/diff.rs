@@ -1,0 +1,338 @@
+//! The differential harness: factorized vs materialized, per workload.
+//!
+//! The paper's §IV guarantee — "factorized learning does not affect
+//! model training accuracy" — holds *exactly* in real arithmetic; in
+//! floating point the two paths differ only by summation order. So for
+//! every generated scenario we train each ML workload twice, once on
+//! the [`FactorizedTable`] and once on its materialization, and demand
+//! agreement within a tolerance derived from the rounding model (see
+//! [`equivalence_tolerance`]) rather than a magic constant.
+
+use crate::spec::ScenarioSpec;
+use amalur_factorize::FactorizedTable;
+use amalur_matrix::DenseMatrix;
+use amalur_ml::{
+    Gnmf, GnmfConfig, KMeans, KMeansConfig, LinRegConfig, LinearRegression, LogRegConfig,
+    LogisticRegression,
+};
+
+/// The ML workloads the harness trains on every scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Gradient-descent linear regression.
+    LinReg,
+    /// Gradient-descent logistic regression.
+    LogReg,
+    /// Lloyd's K-Means.
+    KMeans,
+    /// Gaussian NMF (multiplicative updates).
+    Gnmf,
+}
+
+/// All four workloads, in deterministic order.
+pub const ALL_WORKLOADS: [Workload; 4] = [
+    Workload::LinReg,
+    Workload::LogReg,
+    Workload::KMeans,
+    Workload::Gnmf,
+];
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Workload::LinReg => "linreg",
+            Workload::LogReg => "logreg",
+            Workload::KMeans => "kmeans",
+            Workload::Gnmf => "gnmf",
+        })
+    }
+}
+
+/// One observed factorized-vs-materialized disagreement.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Workload that disagreed.
+    pub workload: Workload,
+    /// Human-readable description of what differed and by how much.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.workload, self.detail)
+    }
+}
+
+/// Training iterations used by the harness — small on purpose: the
+/// equivalence property is per-update, so a handful of updates over
+/// hundreds of scenarios beats many updates over a few.
+const EPOCHS: usize = 6;
+
+/// Relative tolerance for factorized-vs-materialized agreement.
+///
+/// Both paths evaluate the same real-valued computation; they differ by
+/// the order of floating-point reductions. A length-`n` reduction with
+/// stochastic rounding carries relative error `O(√n · ε)`; gradient
+/// updates compound it at most linearly over `iters` steps. We multiply
+/// by a 10³ safety factor for the non-contractive phases of training,
+/// and clamp to `[1e-12, 1e-6]` so the bound never degenerates to
+/// either bit-equality or vacuity.
+pub fn equivalence_tolerance(rows: usize, cols: usize, iters: usize) -> f64 {
+    let n = (rows * cols) as f64;
+    (1e3 * f64::EPSILON * n.sqrt() * iters.max(1) as f64).clamp(1e-12, 1e-6)
+}
+
+/// Checks one scenario: generates it, trains every requested workload
+/// both ways, returns the divergences (empty = equivalent).
+///
+/// # Errors
+/// Returns a message when the scenario cannot be generated or a model
+/// fails to train at all — infrastructure failures, distinct from
+/// equivalence divergences.
+pub fn check_scenario(
+    spec: &ScenarioSpec,
+    workloads: &[Workload],
+) -> Result<Vec<Divergence>, String> {
+    let (md, data) = crate::generate(spec).map_err(|e| format!("generate: {e}"))?;
+    let ft = FactorizedTable::new(md, data).map_err(|e| format!("factorize: {e}"))?;
+    let mut divergences = Vec::new();
+    for w in workloads {
+        if let Some(d) = check_workload(&ft, *w, spec).map_err(|e| format!("{w}: {e}"))? {
+            divergences.push(d);
+        }
+    }
+    Ok(divergences)
+}
+
+/// Runs one workload both ways; `Ok(Some(..))` is a divergence,
+/// `Err(..)` an infrastructure failure.
+fn check_workload(
+    ft: &FactorizedTable,
+    workload: Workload,
+    spec: &ScenarioSpec,
+) -> Result<Option<Divergence>, String> {
+    let (rows, cols) = ft.target_shape();
+    let tol = equivalence_tolerance(rows, cols, EPOCHS);
+    match workload {
+        Workload::LinReg => {
+            let y = planted_labels(ft, false);
+            let config = LinRegConfig {
+                epochs: EPOCHS,
+                learning_rate: 0.01,
+                l2: 0.1,
+                tolerance: 0.0,
+            };
+            let mut fact = LinearRegression::new(config.clone());
+            fact.fit(ft, &y).map_err(|e| e.to_string())?;
+            let mut mat = LinearRegression::new(config);
+            mat.fit(&ft.materialize(), &y).map_err(|e| e.to_string())?;
+            let diverged = matrices_differ(
+                fact.coefficients().expect("fitted"),
+                mat.coefficients().expect("fitted"),
+                tol,
+                "coefficients",
+            )
+            .or_else(|| series_differ(fact.loss_history(), mat.loss_history(), tol, "loss"));
+            Ok(diverged.map(|detail| Divergence { workload, detail }))
+        }
+        Workload::LogReg => {
+            let y = planted_labels(ft, true);
+            let config = LogRegConfig {
+                epochs: EPOCHS,
+                learning_rate: 0.1,
+                l2: 0.0,
+            };
+            let mut fact = LogisticRegression::new(config.clone());
+            fact.fit(ft, &y).map_err(|e| e.to_string())?;
+            let mut mat = LogisticRegression::new(config);
+            mat.fit(&ft.materialize(), &y).map_err(|e| e.to_string())?;
+            let pf = fact.predict_proba(ft).map_err(|e| e.to_string())?;
+            let pm = mat
+                .predict_proba(&ft.materialize())
+                .map_err(|e| e.to_string())?;
+            let diverged = matrices_differ(
+                fact.coefficients().expect("fitted"),
+                mat.coefficients().expect("fitted"),
+                tol,
+                "coefficients",
+            )
+            .or_else(|| series_differ(&pf, &pm, tol, "predicted probabilities"));
+            Ok(diverged.map(|detail| Divergence { workload, detail }))
+        }
+        Workload::KMeans => {
+            let config = KMeansConfig {
+                k: 2,
+                max_iters: EPOCHS,
+                tolerance: 1e-12,
+                seed: spec.seed ^ 0x9E37_79B9,
+            };
+            let mut fact = KMeans::new(config.clone());
+            let assign_fact = fact.fit(ft).map_err(|e| e.to_string())?;
+            let mut mat = KMeans::new(config);
+            let assign_mat = mat.fit(&ft.materialize()).map_err(|e| e.to_string())?;
+            if assign_fact != assign_mat {
+                let first = assign_fact
+                    .iter()
+                    .zip(&assign_mat)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                return Ok(Some(Divergence {
+                    workload,
+                    detail: format!("assignments differ (first at row {first})"),
+                }));
+            }
+            let diverged = if !rel_close(fact.inertia(), mat.inertia(), tol) {
+                Some(format!("inertia {} vs {}", fact.inertia(), mat.inertia()))
+            } else {
+                matrices_differ(
+                    fact.centroids().expect("fitted"),
+                    mat.centroids().expect("fitted"),
+                    tol,
+                    "centroids",
+                )
+            };
+            Ok(diverged.map(|detail| Divergence { workload, detail }))
+        }
+        Workload::Gnmf => {
+            // GNMF needs non-negative input; |·| per source cell keeps
+            // shared-column copies equal, so metadata stays valid.
+            let (md2, mut data2) = crate::generate(spec).map_err(|e| e.to_string())?;
+            for d in &mut data2 {
+                d.map_inplace(|v| v.abs());
+            }
+            let ft_nn = FactorizedTable::new(md2, data2).map_err(|e| e.to_string())?;
+            // Multiplicative updates propagate error through ratios —
+            // give them three extra decades (still capped at 1e-6).
+            let tol = (tol * 1e3).min(1e-6);
+            let config = GnmfConfig {
+                rank: 2,
+                iters: EPOCHS,
+                seed: spec.seed ^ 0x517C_C1B7,
+            };
+            let mut fact = Gnmf::new(config.clone());
+            fact.fit(&ft_nn).map_err(|e| e.to_string())?;
+            let mut mat = Gnmf::new(config);
+            mat.fit(&ft_nn.materialize()).map_err(|e| e.to_string())?;
+            let diverged = matrices_differ(
+                fact.w().expect("fitted"),
+                mat.w().expect("fitted"),
+                tol,
+                "W",
+            )
+            .or_else(|| {
+                matrices_differ(
+                    fact.h().expect("fitted"),
+                    mat.h().expect("fitted"),
+                    tol,
+                    "H",
+                )
+            })
+            .or_else(|| series_differ(fact.loss_history(), mat.loss_history(), tol, "loss"));
+            Ok(diverged.map(|detail| Divergence { workload, detail }))
+        }
+    }
+}
+
+/// Labels with a planted linear model over the materialized target —
+/// identical for both paths by construction.
+pub fn planted_labels(ft: &FactorizedTable, binary: bool) -> DenseMatrix {
+    let t = ft.materialize();
+    let (rows, cols) = t.shape();
+    let y: Vec<f64> = (0..rows)
+        .map(|i| {
+            let mut v = 0.0;
+            for j in 0..cols {
+                let w = if j % 2 == 0 { 0.2 } else { -0.15 };
+                v += w * t.get(i, j);
+            }
+            if binary {
+                f64::from(v > 0.0)
+            } else {
+                v
+            }
+        })
+        .collect();
+    DenseMatrix::column_vector(&y)
+}
+
+/// Relative closeness with an absolute floor of 1 (values near zero are
+/// compared absolutely at `tol`).
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// First element-wise violation between two matrices, if any.
+fn matrices_differ(a: &DenseMatrix, b: &DenseMatrix, tol: f64, what: &str) -> Option<String> {
+    if a.shape() != b.shape() {
+        return Some(format!("{what}: shapes {:?} vs {:?}", a.shape(), b.shape()));
+    }
+    for (idx, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        if !rel_close(*x, *y, tol) {
+            return Some(format!(
+                "{what}[{idx}]: {x} vs {y} (|Δ| = {:.3e}, tol = {tol:.3e})",
+                (x - y).abs()
+            ));
+        }
+    }
+    None
+}
+
+/// First element-wise violation between two numeric series, if any.
+fn series_differ(a: &[f64], b: &[f64], tol: f64, what: &str) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("{what}: lengths {} vs {}", a.len(), b.len()));
+    }
+    for (idx, (x, y)) in a.iter().zip(b).enumerate() {
+        if !rel_close(*x, *y, tol) {
+            return Some(format!(
+                "{what}[{idx}]: {x} vs {y} (|Δ| = {:.3e}, tol = {tol:.3e})",
+                (x - y).abs()
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Topology;
+
+    #[test]
+    fn tolerance_scales_with_size_and_iters() {
+        let small = equivalence_tolerance(10, 10, 1);
+        let big = equivalence_tolerance(100_000, 100, 100);
+        assert!(small < big);
+        assert!(small >= 1e-12);
+        assert!(big <= 1e-6);
+    }
+
+    #[test]
+    fn default_star_scenario_is_equivalent() {
+        let spec = ScenarioSpec::default();
+        let divergences = check_scenario(&spec, &ALL_WORKLOADS).unwrap();
+        assert!(divergences.is_empty(), "{divergences:?}");
+    }
+
+    #[test]
+    fn many_to_many_scenario_is_equivalent() {
+        let spec = ScenarioSpec {
+            topology: Topology::ManyToMany,
+            skew: 0.8,
+            seed: 3,
+            ..ScenarioSpec::default()
+        };
+        let divergences = check_scenario(&spec, &ALL_WORKLOADS).unwrap();
+        assert!(divergences.is_empty(), "{divergences:?}");
+    }
+
+    #[test]
+    fn comparators_flag_real_differences() {
+        let a = DenseMatrix::filled(2, 2, 1.0);
+        let mut b = a.clone();
+        b.set(1, 1, 2.0);
+        assert!(matrices_differ(&a, &b, 1e-9, "m").is_some());
+        assert!(matrices_differ(&a, &a, 1e-9, "m").is_none());
+        assert!(series_differ(&[1.0], &[1.0, 2.0], 1e-9, "s").is_some());
+    }
+}

@@ -1,0 +1,222 @@
+//! Proptest-style shrinking over [`ScenarioSpec`]s.
+//!
+//! The vendored `proptest` shim deliberately has no shrinking, so the
+//! harness shrinks at the *spec* level instead — which is where it
+//! belongs anyway: a minimal failing DI scenario ("star, 1 satellite,
+//! 5×1 base, uniform, dense") is worth far more than a minimal failing
+//! byte stream. Shrinking is a greedy descent over
+//! [`ScenarioSpec::shrink_candidates`]; every candidate strictly
+//! decreases [`ScenarioSpec::complexity`], so the loop terminates.
+
+use crate::spec::{ScenarioSpec, Topology};
+
+impl ScenarioSpec {
+    /// Strictly-simpler variants of this spec, most aggressive first.
+    ///
+    /// Each candidate reduces [`complexity`](ScenarioSpec::complexity):
+    /// halved sizes, fewer sources, and disabled knobs (skew, sparsity,
+    /// shared columns, partial coverage).
+    pub fn shrink_candidates(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::new();
+        let mut push = |candidate: ScenarioSpec| {
+            debug_assert!(candidate.complexity() < self.complexity());
+            out.push(candidate);
+        };
+
+        // Fewer sources first: topology is the biggest lever.
+        match self.topology {
+            Topology::Star { satellites } if satellites > 1 => push(ScenarioSpec {
+                topology: Topology::Star {
+                    satellites: satellites - 1,
+                },
+                ..self.clone()
+            }),
+            Topology::Snowflake { arms, depth } => {
+                if arms > 1 {
+                    push(ScenarioSpec {
+                        topology: Topology::Snowflake {
+                            arms: arms - 1,
+                            depth,
+                        },
+                        ..self.clone()
+                    });
+                }
+                if depth > 1 {
+                    push(ScenarioSpec {
+                        topology: Topology::Snowflake {
+                            arms,
+                            depth: depth - 1,
+                        },
+                        ..self.clone()
+                    });
+                }
+                if arms == 1 && depth == 1 {
+                    // A 1×1 snowflake *is* a single-satellite star; the
+                    // star form is canonical-simpler (same source count,
+                    // simpler generator path — keep complexity strictly
+                    // decreasing by also halving base_rows).
+                    if self.base_rows > 4 {
+                        push(ScenarioSpec {
+                            topology: Topology::Star { satellites: 1 },
+                            base_rows: (self.base_rows / 2).max(4),
+                            ..self.clone()
+                        });
+                    }
+                }
+            }
+            Topology::Chain { hops } if hops > 1 => push(ScenarioSpec {
+                topology: Topology::Chain { hops: hops - 1 },
+                ..self.clone()
+            }),
+            _ => {}
+        }
+
+        // Halve sizes.
+        if self.base_rows > 4 {
+            push(ScenarioSpec {
+                base_rows: (self.base_rows / 2).max(4),
+                ..self.clone()
+            });
+        }
+        if self.dim_rows > 2 {
+            push(ScenarioSpec {
+                dim_rows: (self.dim_rows / 2).max(2),
+                ..self.clone()
+            });
+        }
+        if self.base_cols > 1 {
+            push(ScenarioSpec {
+                base_cols: (self.base_cols / 2).max(1),
+                ..self.clone()
+            });
+        }
+        if self.dim_cols > 1 {
+            push(ScenarioSpec {
+                dim_cols: (self.dim_cols / 2).max(1),
+                ..self.clone()
+            });
+        }
+
+        // Disable knobs.
+        if self.shared_cols > 0 {
+            push(ScenarioSpec {
+                shared_cols: 0,
+                ..self.clone()
+            });
+        }
+        if self.skew > 0.0 {
+            push(ScenarioSpec {
+                skew: 0.0,
+                ..self.clone()
+            });
+        }
+        if self.sparse_mask != 0 {
+            push(ScenarioSpec {
+                sparse_mask: 0,
+                ..self.clone()
+            });
+        }
+        if self.density < 1.0 {
+            push(ScenarioSpec {
+                density: 1.0,
+                ..self.clone()
+            });
+        }
+        if self.coverage < 1.0 {
+            push(ScenarioSpec {
+                coverage: 1.0,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+/// Greedily shrinks `spec` to a local minimum under `fails`.
+///
+/// `fails` must return `true` for any spec that still exhibits the
+/// failure (it is called on candidates only, never on `spec` itself —
+/// the caller has already observed `spec` failing). The result is a
+/// spec for which no [`shrink_candidates`](ScenarioSpec::shrink_candidates)
+/// still fails: minimal in the sense proptest users expect.
+pub fn shrink(spec: &ScenarioSpec, fails: &mut dyn FnMut(&ScenarioSpec) -> bool) -> ScenarioSpec {
+    let mut current = spec.clone();
+    loop {
+        match current.shrink_candidates().into_iter().find(|c| fails(c)) {
+            Some(simpler) => current = simpler,
+            None => return current,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_strictly_reduce_complexity() {
+        let spec = ScenarioSpec {
+            topology: Topology::Snowflake { arms: 3, depth: 2 },
+            base_rows: 200,
+            base_cols: 6,
+            dim_rows: 40,
+            dim_cols: 8,
+            skew: 0.9,
+            shared_cols: 2,
+            sparse_mask: 0b101,
+            density: 0.3,
+            coverage: 0.7,
+            seed: 5,
+        };
+        let candidates = spec.shrink_candidates();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(c.complexity() < spec.complexity(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn shrink_terminates_at_a_fixpoint() {
+        // Artificial failure: anything with base_rows ≥ 32 "fails".
+        let spec = ScenarioSpec {
+            topology: Topology::Star { satellites: 4 },
+            base_rows: 512,
+            skew: 0.5,
+            shared_cols: 1,
+            sparse_mask: 1,
+            density: 0.5,
+            coverage: 0.9,
+            ..ScenarioSpec::default()
+        };
+        let minimal = shrink(&spec, &mut |s| s.base_rows >= 32);
+        assert_eq!(minimal.base_rows, 32);
+        // Every irrelevant knob shrank away.
+        assert_eq!(minimal.topology, Topology::Star { satellites: 1 });
+        assert_eq!(minimal.skew, 0.0);
+        assert_eq!(minimal.shared_cols, 0);
+        assert_eq!(minimal.sparse_mask, 0);
+        assert_eq!(minimal.density, 1.0);
+        assert_eq!(minimal.coverage, 1.0);
+        // And no candidate of the minimum still fails.
+        assert!(minimal.shrink_candidates().iter().all(|c| c.base_rows < 32));
+    }
+
+    #[test]
+    fn minimal_spec_has_no_failing_candidates_for_knob_predicates() {
+        let spec = ScenarioSpec {
+            topology: Topology::Chain { hops: 3 },
+            sparse_mask: 0b11,
+            density: 0.4,
+            ..ScenarioSpec::default()
+        };
+        // Failure depends only on sparsity being present.
+        let minimal = shrink(&spec, &mut |s| s.sparse_mask != 0);
+        assert_ne!(minimal.sparse_mask, 0);
+        assert_eq!(minimal.topology, Topology::Chain { hops: 1 });
+        assert_eq!(minimal.base_rows, 4);
+        assert_eq!(minimal.dim_rows, 2);
+        assert_eq!(minimal.base_cols, 1);
+        assert_eq!(minimal.dim_cols, 1);
+        assert_eq!(minimal.density, 1.0);
+    }
+}

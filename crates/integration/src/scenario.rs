@@ -131,10 +131,19 @@ fn feature_columns<'t>(t: &'t Table, key: &str) -> Vec<&'t str> {
 /// Source 0 (the left table) is the base table for redundancy purposes:
 /// overlapping values in the right table are marked redundant (§III-C).
 ///
+/// Empty source tables are *not* an error here: a silo that contributed
+/// no rows yet is still a valid integration partner, and the outer-join
+/// kinds flow it through as a (possibly zero-row) target. Only when both
+/// sources carry rows and entity resolution still leaves the target
+/// empty — an inner join over disjoint or all-NULL keys — is the empty
+/// result a matching failure worth surfacing.
+///
 /// # Errors
 /// * [`IntegrationError::UnknownColumn`] for missing key columns.
 /// * [`IntegrationError::NoMatches`] when a union scenario finds no shared
-///   feature columns.
+///   feature columns, or when entity resolution over two *non-empty*
+///   sources leaves the target empty (e.g. an inner join over disjoint
+///   or all-NULL keys).
 pub fn integrate_pair(
     left: &Table,
     right: &Table,
@@ -264,6 +273,17 @@ pub fn integrate_pair(
     };
     let (ci1, ci2) = row_alignment(kind, left.num_rows(), right.num_rows(), &row_matches);
     let target_rows = ci1.len();
+    if target_rows == 0 && left.num_rows() > 0 && right.num_rows() > 0 {
+        // With rows on both sides, only the inner join can shrink to
+        // nothing: disjoint key sets, or a key column that is entirely
+        // NULL (NULL matches nothing). An empty *source*, by contrast,
+        // legitimately yields an empty target under every kind.
+        return Err(IntegrationError::NoMatches(format!(
+            "{kind} of {} and {} produced no target rows (no entity matches on key ({lkey}, {rkey}))",
+            left.name(),
+            right.name()
+        )));
+    }
     let indicator1 = IndicatorMatrix::new(ci1, left.num_rows())?;
     let indicator2 = IndicatorMatrix::new(ci2, right.num_rows())?;
 
@@ -460,12 +480,18 @@ pub fn materialize_relationally(
 /// (by name) common to all tables.
 ///
 /// # Errors
-/// [`IntegrationError::NoMatches`] when the tables share no numeric
-/// feature columns.
+/// * [`IntegrationError::EmptyTable`] when any table has no rows.
+/// * [`IntegrationError::NoMatches`] when the tables share no numeric
+///   feature columns.
 pub fn integrate_union(tables: &[&Table], key: &str, null_value: f64) -> Result<IntegrationResult> {
     let first = tables
         .first()
         .ok_or_else(|| IntegrationError::NoMatches("union of zero tables".into()))?;
+    for t in tables {
+        if t.num_rows() == 0 {
+            return Err(IntegrationError::EmptyTable(t.name().to_owned()));
+        }
+    }
     let mut target_columns: Vec<String> = feature_columns(first, key)
         .into_iter()
         .map(str::to_owned)

@@ -1,0 +1,175 @@
+//! Degenerate-input behavior of the integration planners — never panics.
+//! Empty tables are valid silos for `integrate_pair` (they flow through
+//! as possibly-zero-row scenarios, matching the failure-injection suite),
+//! while genuine matching failures — missing join keys, all-NULL join
+//! columns under an inner join, an empty member in a federated union —
+//! come back as typed [`IntegrationError`]s.
+
+use amalur_integration::{
+    integrate_pair, integrate_union, IntegrationError, IntegrationOptions, ScenarioKind,
+};
+use amalur_relational::{DataType, Table, TableBuilder, Value};
+
+fn empty(name: &str) -> Table {
+    TableBuilder::new(name, &[("id", DataType::Int64), ("x", DataType::Float64)])
+        .unwrap()
+        .build()
+}
+
+fn small(name: &str, col: &str) -> Table {
+    TableBuilder::new(name, &[("id", DataType::Int64), (col, DataType::Float64)])
+        .unwrap()
+        .row(vec![1.into(), 2.0.into()])
+        .unwrap()
+        .row(vec![2.into(), 3.0.into()])
+        .unwrap()
+        .build()
+}
+
+/// Two rows whose join key is entirely NULL.
+fn null_keyed(name: &str) -> Table {
+    TableBuilder::new(name, &[("id", DataType::Int64), ("x", DataType::Float64)])
+        .unwrap()
+        .row(vec![Value::Null, 1.0.into()])
+        .unwrap()
+        .row(vec![Value::Null, 2.0.into()])
+        .unwrap()
+        .build()
+}
+
+fn opts() -> IntegrationOptions {
+    IntegrationOptions::with_exact_key("id", "id")
+}
+
+const ALL_KINDS: [ScenarioKind; 4] = [
+    ScenarioKind::FullOuterJoin,
+    ScenarioKind::InnerJoin,
+    ScenarioKind::LeftJoin,
+    ScenarioKind::Union,
+];
+
+#[test]
+fn empty_left_table_flows_through_every_kind() {
+    // Rows surviving an empty left source: full outer keeps the right
+    // side, inner and left join shrink to a valid zero-row target, and
+    // union stacks the (zero) left rows on the right ones.
+    let expected = [2, 0, 0, 2];
+    for (kind, rows) in ALL_KINDS.into_iter().zip(expected) {
+        let result = integrate_pair(&empty("E"), &small("R", "x"), kind, &opts())
+            .unwrap_or_else(|e| panic!("{kind}: empty left must integrate, got {e}"));
+        assert_eq!(result.metadata.target_rows, rows, "{kind}");
+        assert!(result.row_matches.is_empty(), "{kind}");
+    }
+}
+
+#[test]
+fn empty_right_table_flows_through_every_kind() {
+    let expected = [2, 0, 2, 2];
+    for (kind, rows) in ALL_KINDS.into_iter().zip(expected) {
+        let result = integrate_pair(&small("L", "x"), &empty("E"), kind, &opts())
+            .unwrap_or_else(|e| panic!("{kind}: empty right must integrate, got {e}"));
+        assert_eq!(result.metadata.target_rows, rows, "{kind}");
+    }
+}
+
+#[test]
+fn two_empty_tables_yield_a_zero_row_scenario_not_an_error() {
+    // Pinned by the failure-injection suite: silos that have not
+    // contributed data yet are still valid integration partners.
+    for kind in ALL_KINDS {
+        let result = integrate_pair(&empty("E1"), &empty("E2"), kind, &opts())
+            .unwrap_or_else(|e| panic!("{kind}: empty silos are valid, got {e}"));
+        assert_eq!(result.metadata.target_rows, 0, "{kind}");
+    }
+}
+
+#[test]
+fn missing_join_key_is_unknown_column_on_the_right_side_too() {
+    let l = small("L", "x");
+    let r = small("R", "y");
+    let bad_left = IntegrationOptions::with_exact_key("nope", "id");
+    assert_eq!(
+        integrate_pair(&l, &r, ScenarioKind::InnerJoin, &bad_left).unwrap_err(),
+        IntegrationError::UnknownColumn("nope".to_owned())
+    );
+    let bad_right = IntegrationOptions::with_exact_key("id", "absent");
+    assert_eq!(
+        integrate_pair(&l, &r, ScenarioKind::InnerJoin, &bad_right).unwrap_err(),
+        IntegrationError::UnknownColumn("absent".to_owned())
+    );
+}
+
+#[test]
+fn all_null_join_column_inner_join_is_no_matches_not_a_zero_row_scenario() {
+    let err = integrate_pair(
+        &null_keyed("L"),
+        &small("R", "y"),
+        ScenarioKind::InnerJoin,
+        &opts(),
+    )
+    .unwrap_err();
+    match err {
+        IntegrationError::NoMatches(msg) => {
+            assert!(msg.contains("no target rows"), "{msg}");
+        }
+        other => panic!("expected NoMatches, got {other:?}"),
+    }
+}
+
+#[test]
+fn all_null_join_column_outer_kinds_still_integrate() {
+    // NULL matches nothing, so the outer joins degrade gracefully to
+    // disjoint row sets — still a valid scenario, not an error.
+    let l = null_keyed("L");
+    let r = small("R", "y");
+    let full = integrate_pair(&l, &r, ScenarioKind::FullOuterJoin, &opts()).unwrap();
+    assert_eq!(full.metadata.target_rows, 4);
+    assert!(full.row_matches.is_empty());
+    let left = integrate_pair(&l, &r, ScenarioKind::LeftJoin, &opts()).unwrap();
+    assert_eq!(left.metadata.target_rows, 2);
+}
+
+#[test]
+fn disjoint_keys_inner_join_is_no_matches() {
+    let l = TableBuilder::new("L", &[("id", DataType::Int64), ("x", DataType::Float64)])
+        .unwrap()
+        .row(vec![100.into(), 1.0.into()])
+        .unwrap()
+        .build();
+    let err = integrate_pair(&l, &small("R", "y"), ScenarioKind::InnerJoin, &opts()).unwrap_err();
+    assert!(matches!(err, IntegrationError::NoMatches(_)), "{err:?}");
+}
+
+#[test]
+fn union_rejects_empty_member_with_typed_error() {
+    let a = small("A", "x");
+    let e = empty("E");
+    assert_eq!(
+        integrate_union(&[&a, &e], "id", 0.0).unwrap_err(),
+        IntegrationError::EmptyTable("E".to_owned())
+    );
+    // Zero tables stays NoMatches (there is no table to name).
+    assert!(matches!(
+        integrate_union(&[], "id", 0.0).unwrap_err(),
+        IntegrationError::NoMatches(_)
+    ));
+}
+
+#[test]
+fn union_without_shared_features_is_no_matches() {
+    let a = small("A", "x");
+    let b = small("B", "z");
+    // Shared feature set is {x} ∩ {z} = ∅ (the key is not a feature).
+    assert!(matches!(
+        integrate_union(&[&a, &b], "id", 0.0).unwrap_err(),
+        IntegrationError::NoMatches(_)
+    ));
+}
+
+#[test]
+fn errors_render_human_readable_messages() {
+    assert_eq!(
+        IntegrationError::EmptyTable("S1".to_owned()).to_string(),
+        "empty table: S1 has no rows"
+    );
+}

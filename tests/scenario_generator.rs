@@ -1,0 +1,34 @@
+//! Workspace-level smoke of the property-based scenario gate: the
+//! regression corpus and a fresh sampled slice must hold the §IV
+//! equivalence guarantee end to end (dev-profile companion to the
+//! release-profile `scenario_sweep` bin).
+
+use amalur_gen::sample::SizeClass;
+use amalur_gen::{check_and_shrink, sample_specs, Corpus, ALL_WORKLOADS};
+
+#[test]
+fn regression_corpus_holds_at_workspace_level() {
+    let violations = Corpus::builtin().replay(&ALL_WORKLOADS);
+    assert!(
+        violations.is_empty(),
+        "{}",
+        violations
+            .iter()
+            .map(|(e, m)| format!("[{}] {m}", e.note))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fresh_scenarios_hold_at_workspace_level() {
+    // A different sweep seed than the crate-level test and the bench
+    // bin, so the three gates explore three slices of the grammar.
+    for (i, spec) in sample_specs(0x5EED, 12, SizeClass::Small)
+        .iter()
+        .enumerate()
+    {
+        check_and_shrink(spec, &ALL_WORKLOADS)
+            .unwrap_or_else(|message| panic!("scenario #{i}: {message}"));
+    }
+}
