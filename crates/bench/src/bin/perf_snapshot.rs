@@ -134,11 +134,12 @@ fn main() {
     let hp = report.profile;
     println!(
         "cost profile: flop={:.4} traffic={:.4} correction={:.4} assembly={:.4} ns/unit \
-         (rms rel err {:.1}% over {} probes) -> {COST_PROFILE_FILE}",
+         dispatch={:.0} ns/call (rms rel err {:.1}% over {} probes) -> {COST_PROFILE_FILE}",
         hp.flop_cost,
         hp.traffic_cost,
         hp.correction_cost,
         hp.assembly_cost,
+        hp.dispatch_cost,
         report.rms_rel_err * 100.0,
         report.probes.len(),
     );
@@ -166,8 +167,8 @@ fn main() {
     ));
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"cost_profile\": {{ \"flop_cost\": {:.6}, \"traffic_cost\": {:.6}, \"correction_cost\": {:.6}, \"assembly_cost\": {:.6}, \"rms_rel_err\": {:.4} }},\n",
-        hp.flop_cost, hp.traffic_cost, hp.correction_cost, hp.assembly_cost, report.rms_rel_err
+        "  \"cost_profile\": {{ \"flop_cost\": {:.6}, \"traffic_cost\": {:.6}, \"correction_cost\": {:.6}, \"assembly_cost\": {:.6}, \"dispatch_cost\": {:.1}, \"rms_rel_err\": {:.4} }},\n",
+        hp.flop_cost, hp.traffic_cost, hp.correction_cost, hp.assembly_cost, hp.dispatch_cost, report.rms_rel_err
     ));
     json.push_str(&format!(
         "  \"linreg_steady_state_fresh_allocations\": {steady_state_allocs}\n"

@@ -1,0 +1,329 @@
+//! **Serving load**: throughput/latency characterization and the CI
+//! smoke gate for the `amalur-serve` concurrent serving layer.
+//!
+//! Boots a [`Server`] over catalog-registered factorized datasets, then
+//! unleashes a fleet of synthetic client threads issuing blocking
+//! predict requests (with an occasional retrain mixed in). Reports
+//! sustained throughput and p50/p95/p99 predict latency, plus how much
+//! work the batching dispatcher actually coalesced, into
+//! `BENCH_serving.json`.
+//!
+//! The `--quick` form is the CI gate; it fails (non-zero exit) when
+//!
+//! * any request is rejected under nominal load (the admission queue is
+//!   sized to absorb the whole fleet, so a rejection means lost
+//!   capacity, not overload);
+//! * a batched prediction is not *bit-identical* to the same request
+//!   served alone (the column-stable GEMM contract);
+//! * p99 predict latency blows past a deliberately generous floor —
+//!   a smoke detector for pathological queueing, not a perf target.
+//!
+//! Run with: `cargo run --release -p amalur-bench --bin serving_load`
+//! (`--quick` for the CI smoke; `--clients N`, `--requests N`,
+//! `--workers N` to reshape the fleet).
+
+use amalur_catalog::DatasetRegistry;
+use amalur_data::{generate_two_source, TwoSourceSpec};
+use amalur_factorize::FactorizedTable;
+use amalur_matrix::{DenseMatrix, Workspace};
+use amalur_ml::LinRegConfig;
+use amalur_serve::{PredictRequest, Server, ServerConfig, ServerHandle, TrainRequest};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Nominal-load p99 ceiling for the `--quick` gate. Generous on
+/// purpose: single-core CI boxes share the machine with the build.
+const QUICK_P99_CEILING: Duration = Duration::from_millis(500);
+
+/// One client in this many opens with a retrain, keeping the train
+/// path exercised without dominating the predict latency distribution.
+const TRAIN_EVERY: u64 = 25;
+
+struct Args {
+    quick: bool,
+    clients: usize,
+    requests_per_client: usize,
+    workers: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| argv.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let quick = flag("--quick");
+    Args {
+        quick,
+        // Full mode: a thousand-client fleet; quick keeps CI snappy.
+        clients: opt("--clients").unwrap_or(if quick { 64 } else { 1000 }),
+        requests_per_client: opt("--requests").unwrap_or(if quick { 8 } else { 4 }),
+        workers: opt("--workers").unwrap_or(2),
+    }
+}
+
+fn dataset(seed: u64) -> FactorizedTable {
+    let spec = TwoSourceSpec {
+        rows_s1: 2000,
+        cols_s1: 3,
+        rows_s2: 400,
+        cols_s2: 40,
+        seed,
+        ..TwoSourceSpec::default()
+    };
+    let (md, data) = generate_two_source(&spec).expect("valid spec");
+    FactorizedTable::new(md, data).expect("valid factorized table")
+}
+
+fn feature_col(c_t: usize, tag: u64) -> DenseMatrix {
+    let vals: Vec<f64> = (0..c_t)
+        .map(|i| ((i as f64) * 0.61 + tag as f64 * 0.937).cos())
+        .collect();
+    DenseMatrix::from_vec(c_t, 1, vals).expect("column vector")
+}
+
+/// One synthetic client: a stream of blocking predicts with a periodic
+/// retrain, returning predict latencies in microseconds.
+fn run_client(
+    handle: &ServerHandle,
+    dataset_name: &str,
+    c_t: usize,
+    r_t: usize,
+    client: u64,
+    requests: usize,
+) -> (Vec<u64>, u64, u64) {
+    let mut latencies = Vec::with_capacity(requests);
+    let mut rejected = 0u64;
+    let mut trains = 0u64;
+    for r in 0..requests as u64 {
+        let tag = client * 10_000 + r;
+        if r == 0 && client.is_multiple_of(TRAIN_EVERY) {
+            let req = TrainRequest {
+                dataset: dataset_name.to_owned(),
+                version: None,
+                labels: DenseMatrix::from_vec(r_t, 1, (0..r_t).map(|i| (i % 5) as f64).collect())
+                    .expect("label column"),
+                config: LinRegConfig {
+                    epochs: 5,
+                    learning_rate: 1e-4,
+                    ..LinRegConfig::default()
+                },
+            };
+            match handle.train(req) {
+                Ok(_) => trains += 1,
+                Err(amalur_serve::ServeError::Overloaded { .. }) => rejected += 1,
+                Err(e) => panic!("train failed: {e}"),
+            }
+            continue;
+        }
+        let req = PredictRequest {
+            dataset: dataset_name.to_owned(),
+            version: None,
+            features: feature_col(c_t, tag),
+        };
+        let start = Instant::now();
+        match handle.predict(req) {
+            Ok(_) => latencies.push(start.elapsed().as_micros() as u64),
+            Err(amalur_serve::ServeError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("predict failed: {e}"),
+        }
+    }
+    (latencies, rejected, trains)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Re-submits a handful of concurrent predicts and checks every answer
+/// bit-for-bit against a locally computed single-column `lmm_into` —
+/// whatever the dispatcher coalesced, the bits must not move.
+fn check_batched_equivalence(
+    handle: &ServerHandle,
+    table: &Arc<FactorizedTable>,
+    dataset_name: &str,
+) -> (bool, u64) {
+    let (r_t, c_t) = table.target_shape();
+    let n = 12;
+    let tickets: Vec<_> = (0..n)
+        .map(|i| {
+            handle
+                .submit_predict(PredictRequest {
+                    dataset: dataset_name.to_owned(),
+                    version: None,
+                    features: feature_col(c_t, 777_000 + i),
+                })
+                .expect("admission under nominal load")
+        })
+        .collect();
+    let mut ws = Workspace::new();
+    let mut reference = DenseMatrix::zeros(r_t, 1);
+    let mut coalesced = 0u64;
+    let mut ok = true;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let resp = ticket.wait().expect("predict during equivalence check");
+        if resp.batched_with > 1 {
+            coalesced += 1;
+        }
+        let x = feature_col(c_t, 777_000 + i as u64);
+        table
+            .lmm_into(&x, &mut reference, &mut ws)
+            .expect("reference LMM");
+        let same = resp
+            .predictions
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        ok &= same;
+    }
+    (ok, coalesced)
+}
+
+fn main() {
+    let args = parse_args();
+    let total_requests = args.clients * args.requests_per_client;
+    println!(
+        "serving_load: {} clients × {} requests ({} total), {} workers{}",
+        args.clients,
+        args.requests_per_client,
+        total_requests,
+        args.workers,
+        if args.quick { " [quick]" } else { "" }
+    );
+
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register("bench-main", dataset(101))
+        .expect("register");
+    registry
+        .register("bench-side", dataset(202))
+        .expect("register");
+    let table = registry.fetch("bench-main").expect("fetch").data;
+    let (r_t, c_t) = table.target_shape();
+
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: args.workers,
+            // Nominal load: every in-flight client fits in the queue.
+            queue_capacity: (args.clients * 2).max(1024),
+            batch_window: Duration::from_micros(200),
+            max_batch_cols: 32,
+            ..ServerConfig::default()
+        },
+    );
+    let handle = server.handle();
+
+    let wall = Instant::now();
+    let mut clients = Vec::with_capacity(args.clients);
+    for c in 0..args.clients as u64 {
+        let handle = handle.clone();
+        let requests = args.requests_per_client;
+        clients.push(
+            std::thread::Builder::new()
+                .stack_size(256 * 1024) // a thousand clients: keep stacks lean
+                .spawn(move || run_client(&handle, "bench-main", c_t, r_t, c, requests))
+                .expect("spawn client"),
+        );
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(total_requests);
+    let mut rejected = 0u64;
+    let mut trains = 0u64;
+    for c in clients {
+        let (lat, rej, trn) = c.join().expect("client thread");
+        latencies.extend(lat);
+        rejected += rej;
+        trains += trn;
+    }
+    let elapsed = wall.elapsed();
+
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p95 = percentile(&latencies, 0.95);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = total_requests as f64 / elapsed.as_secs_f64();
+
+    let (equiv_ok, equiv_coalesced) = check_batched_equivalence(&handle, &table, "bench-main");
+    let stats = handle.stats();
+    server.shutdown();
+
+    let mean_batch = if stats.predict_batches > 0 {
+        stats.predicts_done as f64 / stats.predict_batches as f64
+    } else {
+        0.0
+    };
+    println!(
+        "  {throughput:.0} req/s over {:.2}s | predict latency µs: p50={p50} p95={p95} p99={p99}",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  batches={} coalesced={} (mean width {mean_batch:.2}) trains={trains} rejected={rejected} equivalence={}",
+        stats.predict_batches,
+        stats.coalesced_predicts,
+        if equiv_ok { "ok" } else { "VIOLATED" }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"amalur-bench-serving/v1\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{ \"clients\": {}, \"requests_per_client\": {}, \"workers\": {}, \"quick\": {} }},\n",
+        args.clients, args.requests_per_client, args.workers, args.quick
+    ));
+    json.push_str(&format!(
+        "  \"throughput_req_per_s\": {throughput:.1},\n  \"elapsed_s\": {:.3},\n",
+        elapsed.as_secs_f64()
+    ));
+    json.push_str(&format!(
+        "  \"predict_latency_us\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"count\": {} }},\n",
+        latencies.len()
+    ));
+    json.push_str(&format!(
+        "  \"admission\": {{ \"accepted\": {}, \"rejected\": {} }},\n",
+        stats.accepted, stats.rejected
+    ));
+    json.push_str(&format!(
+        "  \"batching\": {{ \"predict_batches\": {}, \"coalesced_predicts\": {}, \"mean_batch_width\": {mean_batch:.3}, \"equivalence_probe_coalesced\": {equiv_coalesced} }},\n",
+        stats.predict_batches, stats.coalesced_predicts
+    ));
+    json.push_str(&format!(
+        "  \"trains_done\": {},\n  \"batched_equivalence_ok\": {equiv_ok}\n}}\n",
+        stats.trains_done
+    ));
+    std::fs::write("BENCH_serving.json", &json).expect("writable working directory");
+    println!("wrote BENCH_serving.json");
+
+    if args.quick {
+        let mut failures = Vec::new();
+        if rejected > 0 || stats.rejected > 0 {
+            failures.push(format!(
+                "{} requests rejected under nominal load",
+                rejected.max(stats.rejected)
+            ));
+        }
+        if !equiv_ok {
+            failures.push("batched predictions diverged from unbatched bits".into());
+        }
+        if Duration::from_micros(p99) > QUICK_P99_CEILING {
+            failures.push(format!(
+                "p99 predict latency {p99}µs exceeds the {}ms smoke ceiling",
+                QUICK_P99_CEILING.as_millis()
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("serving_load --quick FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("serving_load --quick: all gates passed");
+    }
+}

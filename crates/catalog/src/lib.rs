@@ -15,8 +15,10 @@
 
 mod entries;
 mod error;
+mod registry;
 mod store;
 
 pub use entries::{DiEntry, FieldMeta, ModelEntry, SourceEntry};
 pub use error::{CatalogError, Result};
+pub use registry::{DatasetRegistry, DatasetStatus, DatasetVersion};
 pub use store::MetadataCatalog;

@@ -1,0 +1,135 @@
+//! Concurrency stress tests for [`DatasetRegistry`]: many threads
+//! registering, publishing and fetching must never lose an update, and
+//! `Arc` identity for a given (name, version) must stay stable.
+
+use amalur_catalog::{CatalogError, DatasetRegistry};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn concurrent_registration_admits_exactly_one_winner_per_name() {
+    let reg = Arc::new(DatasetRegistry::new());
+    let threads = 8;
+    let names = 16;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let reg = Arc::clone(&reg);
+        handles.push(thread::spawn(move || {
+            let mut wins = 0usize;
+            for n in 0..names {
+                match reg.register(&format!("ds-{n}"), t) {
+                    Ok(v) => {
+                        assert_eq!(v.version, 1);
+                        wins += 1;
+                    }
+                    Err(CatalogError::AlreadyExists(_)) => {}
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            wins
+        }));
+    }
+    let total_wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    // Every name registered exactly once across all racing threads.
+    assert_eq!(total_wins, names);
+    assert_eq!(reg.len(), names);
+    for n in 0..names {
+        assert_eq!(reg.latest_version(&format!("ds-{n}")).unwrap(), 1);
+    }
+}
+
+#[test]
+fn concurrent_publishes_lose_no_updates() {
+    let reg = Arc::new(DatasetRegistry::new());
+    reg.register("shared", 0usize).unwrap();
+    let threads = 8;
+    let publishes_per_thread = 50;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let reg = Arc::clone(&reg);
+        handles.push(thread::spawn(move || {
+            let mut seen_versions = Vec::with_capacity(publishes_per_thread);
+            for i in 0..publishes_per_thread {
+                let v = reg.publish("shared", t * publishes_per_thread + i).unwrap();
+                seen_versions.push(v.version);
+                // A fetch between publishes must observe a version at
+                // least as new as the one we just created.
+                let fetched = reg.fetch("shared").unwrap();
+                assert!(fetched.version >= v.version);
+            }
+            seen_versions
+        }));
+    }
+    let mut all_versions: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all_versions.sort_unstable();
+    // No lost updates: N threads × M publishes on top of v1 yields
+    // exactly versions 2..=N*M+1, each observed by exactly one publisher.
+    let expected: Vec<u64> = (2..=(threads * publishes_per_thread) as u64 + 1).collect();
+    assert_eq!(all_versions, expected);
+    assert_eq!(
+        reg.latest_version("shared").unwrap(),
+        (threads * publishes_per_thread) as u64 + 1
+    );
+}
+
+#[test]
+fn fetched_arcs_are_identity_stable_under_concurrent_readers() {
+    let reg = Arc::new(DatasetRegistry::new());
+    let reference = reg.register("pinned", vec![42.0f64; 64]).unwrap();
+    let threads = 8;
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let reg = Arc::clone(&reg);
+        let reference = Arc::clone(&reference.data);
+        handles.push(thread::spawn(move || {
+            for _ in 0..200 {
+                let fetched = reg.fetch("pinned").unwrap();
+                // Same allocation every time — fetch shares, never clones.
+                assert!(Arc::ptr_eq(&fetched.data, &reference));
+                let pinned = reg.fetch_version("pinned", 1).unwrap();
+                assert!(Arc::ptr_eq(&pinned.data, &reference));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn readers_race_with_publishers_and_always_see_a_consistent_version() {
+    let reg = Arc::new(DatasetRegistry::new());
+    reg.register("hot", vec![1u64]).unwrap();
+    let writer = {
+        let reg = Arc::clone(&reg);
+        thread::spawn(move || {
+            for i in 2..=100u64 {
+                // Payload records its own version so readers can check
+                // that version number and payload never tear.
+                reg.publish("hot", vec![i]).unwrap();
+            }
+        })
+    };
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let reg = Arc::clone(&reg);
+        readers.push(thread::spawn(move || {
+            let mut last_seen = 0u64;
+            for _ in 0..500 {
+                let v = reg.fetch("hot").unwrap();
+                assert_eq!(v.data[0], v.version, "version/payload tear");
+                assert!(v.version >= last_seen, "version went backwards");
+                last_seen = v.version;
+            }
+        }));
+    }
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(reg.latest_version("hot").unwrap(), 100);
+    assert_eq!(reg.fetch("hot").unwrap().data[0], 100);
+}

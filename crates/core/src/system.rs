@@ -664,6 +664,7 @@ mod tests {
             traffic_cost: 0.0,
             correction_cost: 0.0,
             assembly_cost: 1e6,
+            dispatch_cost: 0.0,
         });
         let plan = amalur.plan(
             &handle,
@@ -677,6 +678,7 @@ mod tests {
             traffic_cost: 1e6,
             correction_cost: 1e6,
             assembly_cost: 0.0,
+            dispatch_cost: 0.0,
         });
         let plan = amalur.plan(
             &handle,

@@ -32,12 +32,16 @@ use std::time::Instant;
 pub const COST_PROFILE_FILE: &str = "COST_PROFILE.json";
 
 /// Schema tag written into the profile file.
-const PROFILE_SCHEMA: &str = "amalur-cost-profile/v1";
+const PROFILE_SCHEMA: &str = "amalur-cost-profile/v2";
 
 /// Fitted per-operation costs, in nanoseconds per abstract unit.
 ///
 /// A profile prices an [`OpCounts`] via [`HardwareProfile::predict`]; the
-/// four coefficients correspond one-to-one to the four count classes.
+/// five coefficients correspond one-to-one to the five count classes.
+/// `dispatch_cost` is the intercept-like term: nanoseconds of fixed
+/// overhead per kernel dispatch, independent of operand sizes — without
+/// it the model systematically under-estimates factorized plans on
+/// sub-ms tiny tables (many per-source dispatches, little work each).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HardwareProfile {
     /// Cost per dense GEMM flop.
@@ -48,6 +52,8 @@ pub struct HardwareProfile {
     pub correction_cost: f64,
     /// Cost per cell written/read while assembling the target table.
     pub assembly_cost: f64,
+    /// Fixed cost per kernel dispatch (the intercept; see type docs).
+    pub dispatch_cost: f64,
 }
 
 impl Default for HardwareProfile {
@@ -68,6 +74,8 @@ impl HardwareProfile {
             traffic_cost: 10.0,
             correction_cost: 2.0,
             assembly_cost: 4.0,
+            // The paper-era model had no intercept; calibration fits one.
+            dispatch_cost: 0.0,
         }
     }
 
@@ -78,6 +86,7 @@ impl HardwareProfile {
             + self.traffic_cost * counts.traffic_cells
             + self.correction_cost * counts.correction_cells
             + self.assembly_cost * counts.assembly_cells
+            + self.dispatch_cost * counts.dispatch_calls
     }
 
     /// Whether the profile is usable: all coefficients finite and
@@ -88,6 +97,7 @@ impl HardwareProfile {
             self.traffic_cost,
             self.correction_cost,
             self.assembly_cost,
+            self.dispatch_cost,
         ];
         cs.iter().all(|c| c.is_finite() && *c >= 0.0) && cs.iter().any(|c| *c > 0.0)
     }
@@ -106,6 +116,7 @@ impl HardwareProfile {
             traffic_cost: stored.traffic_cost,
             correction_cost: stored.correction_cost,
             assembly_cost: stored.assembly_cost,
+            dispatch_cost: stored.dispatch_cost,
         };
         profile.is_valid().then_some(profile)
     }
@@ -119,6 +130,7 @@ struct StoredProfile {
     traffic_cost: f64,
     correction_cost: f64,
     assembly_cost: f64,
+    dispatch_cost: f64,
     probe_count: usize,
     rms_rel_err: f64,
     max_rel_err: f64,
@@ -167,7 +179,10 @@ pub struct CalibrationConfig {
 impl Default for CalibrationConfig {
     fn default() -> Self {
         Self {
-            ladder: vec![2_000, 6_000, 20_000],
+            // The tiny rung exists to identify `dispatch_cost`: at
+            // r_S1 = 60 the fixed per-dispatch overhead is a visible
+            // fraction of the measured time.
+            ladder: vec![60, 2_000, 6_000, 20_000],
             reps: 3,
             x_cols: 1,
             sample_units: 4e6,
@@ -179,7 +194,7 @@ impl CalibrationConfig {
     /// Small ladder for tests and `--quick` runs.
     pub fn quick() -> Self {
         Self {
-            ladder: vec![500, 2_000],
+            ladder: vec![60, 500, 2_000],
             reps: 2,
             sample_units: 4e5,
             ..Self::default()
@@ -212,6 +227,7 @@ impl CalibrationReport {
             traffic_cost: self.profile.traffic_cost,
             correction_cost: self.profile.correction_cost,
             assembly_cost: self.profile.assembly_cost,
+            dispatch_cost: self.profile.dispatch_cost,
             probe_count: self.probes.len(),
             rms_rel_err: self.rms_rel_err,
             max_rel_err: self.max_rel_err,
@@ -374,11 +390,11 @@ fn min_time_ns(config: &CalibrationConfig, units: f64, mut f: impl FnMut()) -> f
 /// relative-error weighting (each probe's row is scaled by
 /// `1 / measured`, so small probes count as much as large ones).
 ///
-/// Solved by an active-set loop over the four coefficients: solve the
+/// Solved by an active-set loop over the five coefficients: solve the
 /// ridge-stabilized normal equations for the active set, drop the most
 /// negative coefficient, repeat. Dropped coefficients are clamped to 0.
 fn fit_profile(probes: &[Probe]) -> HardwareProfile {
-    let rows: Vec<([f64; 4], f64)> = probes
+    let rows: Vec<([f64; 5], f64)> = probes
         .iter()
         .filter(|p| p.measured_ns > 0.0)
         .map(|p| {
@@ -389,6 +405,7 @@ fn fit_profile(probes: &[Probe]) -> HardwareProfile {
                     p.counts.traffic_cells * w,
                     p.counts.correction_cells * w,
                     p.counts.assembly_cells * w,
+                    p.counts.dispatch_calls * w,
                 ],
                 1.0,
             )
@@ -398,9 +415,41 @@ fn fit_profile(probes: &[Probe]) -> HardwareProfile {
         return HardwareProfile::uncalibrated();
     }
 
-    let mut active = [true; 4];
+    // Column equilibration: the weighted dispatch column is orders of
+    // magnitude smaller than the flop column (a handful of calls vs
+    // millions of flops per probe). Normalizing each column to unit
+    // Euclidean norm keeps the shared ridge from crushing the small
+    // coefficients; the solution is unscaled at the end.
+    let mut col_scale = [0.0f64; 5];
+    for (a, _) in &rows {
+        for (j, &v) in a.iter().enumerate() {
+            col_scale[j] += v * v;
+        }
+    }
+    for s in &mut col_scale {
+        *s = s.sqrt();
+    }
+    let rows: Vec<([f64; 5], f64)> = rows
+        .into_iter()
+        .map(|(mut a, b)| {
+            for (v, s) in a.iter_mut().zip(&col_scale) {
+                if *s > 0.0 {
+                    *v /= s;
+                }
+            }
+            (a, b)
+        })
+        .collect();
+
+    // Columns with no signal in any probe are unidentifiable: clamp to 0.
+    let mut active = [true; 5];
+    for (j, &s) in col_scale.iter().enumerate() {
+        if s == 0.0 {
+            active[j] = false;
+        }
+    }
     loop {
-        let idx: Vec<usize> = (0..4).filter(|&j| active[j]).collect();
+        let idx: Vec<usize> = (0..5).filter(|&j| active[j]).collect();
         if idx.is_empty() {
             return HardwareProfile::uncalibrated();
         }
@@ -439,15 +488,16 @@ fn fit_profile(probes: &[Probe]) -> HardwareProfile {
             active[j] = false;
             continue;
         }
-        let mut coefs = [0.0f64; 4];
+        let mut coefs = [0.0f64; 5];
         for (p, &j) in idx.iter().enumerate() {
-            coefs[j] = x.get(p, 0);
+            coefs[j] = x.get(p, 0) / col_scale[j];
         }
         let profile = HardwareProfile {
             flop_cost: coefs[0],
             traffic_cost: coefs[1],
             correction_cost: coefs[2],
             assembly_cost: coefs[3],
+            dispatch_cost: coefs[4],
         };
         return if profile.is_valid() {
             profile
@@ -479,24 +529,30 @@ mod tests {
     fn synthetic_probes(profile: &HardwareProfile) -> Vec<Probe> {
         // Exactly-linear timings: the fit must recover the coefficients.
         let mut probes = Vec::new();
-        for (g, t, c, a) in [
-            (1e6, 0.0, 0.0, 0.0),
-            (2e6, 1e4, 0.0, 0.0),
-            (4e6, 8e4, 0.0, 0.0),
-            (1e6, 2e4, 5e3, 0.0),
-            (3e6, 6e4, 2e4, 0.0),
-            (0.0, 0.0, 0.0, 1e5),
-            (0.0, 0.0, 0.0, 7e5),
-            (5e5, 0.0, 0.0, 3e5),
+        // Dispatch counts mimic real probes: a handful of calls per
+        // probe, with tiny probes (low unit counts) mixed in so the
+        // intercept is identifiable.
+        for (g, t, c, a, d) in [
+            (1e6, 0.0, 0.0, 0.0, 2.0),
+            (2e6, 1e4, 0.0, 0.0, 4.0),
+            (4e6, 8e4, 0.0, 0.0, 4.0),
+            (1e6, 2e4, 5e3, 0.0, 4.0),
+            (3e6, 6e4, 2e4, 0.0, 6.0),
+            (0.0, 0.0, 0.0, 1e5, 2.0),
+            (0.0, 0.0, 0.0, 7e5, 3.0),
+            (5e5, 0.0, 0.0, 3e5, 2.0),
+            (1e3, 2e2, 0.0, 0.0, 4.0),
+            (4e2, 1e2, 0.0, 0.0, 2.0),
         ] {
             let counts = OpCounts {
                 gemm_flops: g,
                 traffic_cells: t,
                 correction_cells: c,
                 assembly_cells: a,
+                dispatch_calls: d,
             };
             probes.push(Probe {
-                name: format!("synthetic {g} {t} {c} {a}"),
+                name: format!("synthetic {g} {t} {c} {a} {d}"),
                 counts,
                 measured_ns: profile.predict(&counts),
             });
@@ -511,12 +567,18 @@ mod tests {
             traffic_cost: 4.2,
             correction_cost: 1.7,
             assembly_cost: 9.0,
+            dispatch_cost: 1.5e4,
         };
         let fitted = fit_profile(&synthetic_probes(&truth));
         assert!((fitted.flop_cost - truth.flop_cost).abs() < 1e-3);
         assert!((fitted.traffic_cost - truth.traffic_cost).abs() < 0.1);
         assert!((fitted.correction_cost - truth.correction_cost).abs() < 0.1);
         assert!((fitted.assembly_cost - truth.assembly_cost).abs() < 0.1);
+        assert!(
+            (fitted.dispatch_cost - truth.dispatch_cost).abs() < 0.01 * truth.dispatch_cost,
+            "dispatch intercept not recovered: {}",
+            fitted.dispatch_cost
+        );
         let (rms, max) = fit_errors(&synthetic_probes(&truth), &fitted);
         assert!(rms < 1e-6, "rms {rms}");
         assert!(max < 1e-5, "max {max}");
@@ -531,6 +593,7 @@ mod tests {
             traffic_cost: 2.0,
             correction_cost: 0.0,
             assembly_cost: 3.0,
+            dispatch_cost: 0.0,
         });
         for p in &mut probes {
             if p.counts.correction_cells > 0.0 {
@@ -571,6 +634,14 @@ mod tests {
             traffic_cost: 0.0,
             correction_cost: 0.0,
             assembly_cost: 0.0,
+            dispatch_cost: 0.0,
+        }
+        .is_valid());
+        // Dispatch-cost 0 with other costs positive stays valid (the
+        // uncalibrated fallback has no intercept).
+        assert!(HardwareProfile {
+            dispatch_cost: 0.0,
+            ..HardwareProfile::uncalibrated()
         }
         .is_valid());
     }
@@ -586,6 +657,7 @@ mod tests {
                 traffic_cost: 3.5,
                 correction_cost: 1.25,
                 assembly_cost: 6.0,
+                dispatch_cost: 2.2e4,
             },
             probes: vec![],
             rms_rel_err: 0.05,
@@ -597,10 +669,11 @@ mod tests {
         // Corrupted file → None.
         std::fs::write(&path, "{not json").unwrap();
         assert!(HardwareProfile::load(&path).is_none());
-        // Wrong schema → None.
+        // Wrong schema → None. A stale v1 profile (no dispatch_cost)
+        // also fails here, forcing recalibration with the intercept.
         std::fs::write(
             &path,
-            r#"{"schema":"other/v9","flop_cost":1.0,"traffic_cost":1.0,
+            r#"{"schema":"amalur-cost-profile/v1","flop_cost":1.0,"traffic_cost":1.0,
                "correction_cost":1.0,"assembly_cost":1.0,
                "probe_count":0,"rms_rel_err":0.0,"max_rel_err":0.0}"#,
         )
@@ -623,6 +696,7 @@ mod tests {
                 traffic_cost: 5.0,
                 correction_cost: 2.5,
                 assembly_cost: 8.0,
+                dispatch_cost: 1.0e4,
             },
             probes: vec![],
             rms_rel_err: 0.0,

@@ -173,6 +173,9 @@ impl CostFeatures {
         }
         OpCounts {
             assembly_cells: assembly,
+            // One gather pass per source — mirrors
+            // `FactorizedTable::materialize_op_counts`.
+            dispatch_calls: self.sources.len() as f64,
             ..OpCounts::zero()
         }
     }

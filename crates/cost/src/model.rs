@@ -314,12 +314,14 @@ mod tests {
             traffic_cost: 1.0,
             correction_cost: 1.0,
             assembly_cost: 1.0,
+            dispatch_cost: 0.0,
         });
         let assembly_heavy = AmalurCostModel::with_profile(HardwareProfile {
             flop_cost: 0.05,
             traffic_cost: 0.1,
             correction_cost: 0.1,
             assembly_cost: 50.0,
+            dispatch_cost: 0.0,
         });
         assert_eq!(flop_heavy.decide(&f, &w), Decision::Materialize);
         assert_eq!(assembly_heavy.decide(&f, &w), Decision::Factorize);

@@ -65,6 +65,7 @@ proptest! {
             traffic_cost: traffic,
             correction_cost: correction,
             assembly_cost: assembly,
+            dispatch_cost: 0.0,
         });
         let w = TrainingWorkload { epochs, x_cols: 1 };
         let base = model.factorized_cost(&features(rows, red), &w);
@@ -92,6 +93,7 @@ proptest! {
             traffic_cost: traffic,
             correction_cost: correction,
             assembly_cost: assembly,
+            dispatch_cost: 0.0,
         });
         let w = TrainingWorkload { epochs, x_cols: 1 };
         // Growing the target (more rows at fixed columns) can only make

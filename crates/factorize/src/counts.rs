@@ -15,7 +15,11 @@
 //! * **correction cells** — redundant cells subtracted back out per the
 //!   `Rₖ` zero blocks;
 //! * **assembly cells** — cells written to or read from sources while
-//!   materializing the target table.
+//!   materializing the target table;
+//! * **dispatch calls** — per-source kernel dispatches (scatter + GEMM +
+//!   gather treated as one dispatch). Each dispatch carries a fixed
+//!   overhead independent of the operand sizes, which dominates on
+//!   sub-ms tiny tables — the calibration's intercept-like term.
 
 use crate::table::FactorizedTable;
 use amalur_matrix::NO_MATCH;
@@ -32,6 +36,9 @@ pub struct OpCounts {
     pub correction_cells: f64,
     /// Cells written/read while assembling the materialized target.
     pub assembly_cells: f64,
+    /// Per-source kernel dispatches — the size-independent fixed
+    /// overhead each operator invocation pays (the model's intercept).
+    pub dispatch_calls: f64,
 }
 
 impl OpCounts {
@@ -48,10 +55,13 @@ impl OpCounts {
             traffic_cells: self.traffic_cells + other.traffic_cells,
             correction_cells: self.correction_cells + other.correction_cells,
             assembly_cells: self.assembly_cells + other.assembly_cells,
+            dispatch_calls: self.dispatch_calls + other.dispatch_calls,
         }
     }
 
-    /// Total abstract work units (used to size timing loops).
+    /// Total abstract work units (used to size timing loops). Dispatch
+    /// calls are bookkeeping, not data-proportional work, so they are
+    /// excluded here.
     pub fn total_units(&self) -> f64 {
         self.gemm_flops + self.traffic_cells + self.correction_cells + self.assembly_cells
     }
@@ -64,6 +74,7 @@ impl OpCounts {
             traffic_cells: self.traffic_cells * k,
             correction_cells: self.correction_cells * k,
             assembly_cells: self.assembly_cells * k,
+            dispatch_calls: self.dispatch_calls * k,
         }
     }
 
@@ -87,6 +98,7 @@ impl OpCounts {
             traffic_cells: (mapped_cols + matched_rows) as f64 * n,
             correction_cells: redundant_cells as f64 * n,
             assembly_cells: 0.0,
+            dispatch_calls: 1.0,
         }
     }
 
@@ -105,6 +117,8 @@ impl OpCounts {
     pub fn materialized_epoch(target_cells: usize, x_cols: usize) -> OpCounts {
         OpCounts {
             gemm_flops: 4.0 * target_cells as f64 * x_cols as f64,
+            // One `T·X` plus one `Tᵀ·X` — two kernel dispatches.
+            dispatch_calls: 2.0,
             ..OpCounts::zero()
         }
     }
@@ -161,6 +175,8 @@ impl FactorizedTable {
         }
         OpCounts {
             assembly_cells: assembly,
+            // One gather pass per source.
+            dispatch_calls: self.metadata().sources.len() as f64,
             ..OpCounts::zero()
         }
     }
@@ -191,6 +207,7 @@ mod tests {
         assert_eq!(c.traffic_cells, ((3.0 + 4.0) + (3.0 + 3.0)) * 2.0);
         assert_eq!(c.correction_cells, 2.0 * 2.0);
         assert_eq!(c.assembly_cells, 0.0);
+        assert_eq!(c.dispatch_calls, 2.0); // one dispatch per source
     }
 
     #[test]
@@ -201,6 +218,7 @@ mod tests {
         assert_eq!(epoch.gemm_flops, 2.0 * single.gemm_flops);
         assert_eq!(epoch.traffic_cells, 2.0 * single.traffic_cells);
         assert_eq!(epoch.correction_cells, 2.0 * single.correction_cells);
+        assert_eq!(epoch.dispatch_calls, 2.0 * single.dispatch_calls);
     }
 
     #[test]
@@ -210,9 +228,11 @@ mod tests {
         // 6×4 target + S1 gathered 4·3 + S2 gathered 3·3 − 2 redundant.
         assert_eq!(c.assembly_cells, 24.0 + 12.0 + (9.0 - 2.0));
         assert_eq!(c.gemm_flops, 0.0);
+        assert_eq!(c.dispatch_calls, 2.0);
         let m = ft.materialized_epoch_op_counts(3);
         assert_eq!(m.gemm_flops, 4.0 * 24.0 * 3.0);
         assert_eq!(m.assembly_cells, 0.0);
+        assert_eq!(m.dispatch_calls, 2.0);
     }
 
     #[test]
@@ -222,6 +242,8 @@ mod tests {
         let four = ft.epoch_op_counts(4);
         assert_eq!(four.gemm_flops, 4.0 * one.gemm_flops);
         assert_eq!(four.traffic_cells, 4.0 * one.traffic_cells);
+        // Dispatch overhead is per call, not per operand column.
+        assert_eq!(four.dispatch_calls, one.dispatch_calls);
     }
 
     #[test]
@@ -231,9 +253,11 @@ mod tests {
             traffic_cells: 2.0,
             correction_cells: 3.0,
             assembly_cells: 4.0,
+            dispatch_calls: 5.0,
         };
         let b = a.plus(&a);
-        assert_eq!(b.total_units(), 20.0);
+        assert_eq!(b.total_units(), 20.0); // dispatches excluded
+        assert_eq!(b.dispatch_calls, 10.0);
         assert_eq!(OpCounts::zero().total_units(), 0.0);
     }
 }

@@ -157,6 +157,52 @@ impl LinOps for FactorizedTable {
     }
 }
 
+/// Shared-ownership delegation: serving workers train on
+/// `Arc<FactorizedTable>` (one copy of the data, many concurrent
+/// readers) through the same generic training loops.
+impl<L: LinOps> LinOps for std::sync::Arc<L> {
+    fn n_rows(&self) -> usize {
+        (**self).n_rows()
+    }
+
+    fn n_cols(&self) -> usize {
+        (**self).n_cols()
+    }
+
+    fn mul_right(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        (**self).mul_right(x)
+    }
+
+    fn t_mul(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        (**self).t_mul(x)
+    }
+
+    fn mul_right_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        (**self).mul_right_into(x, out, ws)
+    }
+
+    fn t_mul_into(&self, x: &DenseMatrix, out: &mut DenseMatrix, ws: &mut Workspace) -> Result<()> {
+        (**self).t_mul_into(x, out, ws)
+    }
+
+    fn gram_matrix(&self) -> DenseMatrix {
+        (**self).gram_matrix()
+    }
+
+    fn column_sums(&self) -> Vec<f64> {
+        (**self).column_sums()
+    }
+
+    fn row_norms_sq(&self) -> Vec<f64> {
+        (**self).row_norms_sq()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +240,21 @@ mod tests {
         for (a, b) in LinOps::row_norms_sq(&ft).iter().zip(t.row_norms_sq()) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn arc_wrapper_delegates_without_cloning_data() {
+        let ft = std::sync::Arc::new(running_example());
+        let theta = DenseMatrix::from_rows(&[vec![0.1], vec![0.2], vec![-0.3], vec![0.4]]).unwrap();
+        // Same bits through the Arc as through the table directly.
+        let direct = predict(&*ft, &theta);
+        let shared = predict(&ft, &theta);
+        assert_eq!(direct.as_slice(), shared.as_slice());
+        assert_eq!(ft.n_rows(), 6);
+        let mut ws = Workspace::new();
+        let mut out = DenseMatrix::zeros(ft.n_rows(), 1);
+        ft.mul_right_into(&theta, &mut out, &mut ws).unwrap();
+        assert_eq!(out.as_slice(), direct.as_slice());
     }
 
     #[test]

@@ -100,6 +100,46 @@ impl FactorizedTable {
         self.lmm_compressed_into(x, out, ws)
     }
 
+    /// Compressed-strategy `T · X` with a **column-stable** summation
+    /// order: column `j` of the result is bit-identical to
+    /// `lmm_into(col_j, …)` computed on its own, regardless of how many
+    /// other columns share the call. This is the batching contract of
+    /// the serving layer — predictions coalesced into one factorized
+    /// multiply return exactly the bytes each would have produced served
+    /// individually.
+    ///
+    /// The scatter, gather and redundancy-correction phases of the
+    /// compressed rewrite are already per-column independent; the only
+    /// width-sensitive step is the inner `Dₖ · (MₖᵀX)` product, which
+    /// here goes through [`DenseMatrix::matmul_colstable_into`] instead
+    /// of the width-adaptive kernel.
+    ///
+    /// # Errors
+    /// Shape errors as in [`Self::lmm`].
+    pub fn lmm_colstable_into(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        let (rows, cols) = self.target_shape();
+        if x.rows() != cols {
+            return Err(FactorizeError::OperandMismatch {
+                op: "lmm_colstable",
+                expected: (cols, x.cols()),
+                found: x.shape(),
+            });
+        }
+        if out.shape() != (rows, x.cols()) {
+            return Err(FactorizeError::OperandMismatch {
+                op: "lmm_colstable_into",
+                expected: (rows, x.cols()),
+                found: out.shape(),
+            });
+        }
+        self.lmm_compressed_into_impl(x, out, ws, true)
+    }
+
     /// Compressed-strategy `Tᵀ · X` written into the caller-owned `out`
     /// (`c_T × n`, fully overwritten), drawing all per-source
     /// intermediates from `ws`.
@@ -333,6 +373,16 @@ impl FactorizedTable {
         out: &mut DenseMatrix,
         ws: &mut Workspace,
     ) -> Result<()> {
+        self.lmm_compressed_into_impl(x, out, ws, false)
+    }
+
+    fn lmm_compressed_into_impl(
+        &self,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+        colstable: bool,
+    ) -> Result<()> {
         let n = x.cols();
         let rows = out.rows();
         out.as_mut_slice().fill(0.0);
@@ -340,9 +390,14 @@ impl FactorizedTable {
             // Mₖᵀ X: scatter X's target-column rows into source-column rows.
             let mut xk = ws.take_matrix(s.mapping.source_cols(), n);
             x.scatter_rows_add_into(s.mapping.compressed(), &mut xk)?;
-            // Dₖ (Mₖᵀ X)
+            // Dₖ (Mₖᵀ X) — the only phase whose summation order depends
+            // on the operand width; `colstable` pins it per column.
             let mut local = ws.take_matrix(d.rows(), n);
-            d.matmul_into(&xk, &mut local)?;
+            if colstable {
+                d.matmul_colstable_into(&xk, &mut local, ws)?;
+            } else {
+                d.matmul_into(&xk, &mut local)?;
+            }
             // Iₖ (...) with redundancy correction, accumulated into `out`
             // in parallel over disjoint target-row chunks: each chunk
             // gathers its rows of `local` and subtracts the redundant
@@ -666,6 +721,49 @@ mod tests {
         let mut wrong = DenseMatrix::zeros(rows, 1);
         assert!(ft.lmm_into(&x, &mut wrong, &mut ws).is_err());
         assert!(ft.lmm_transpose_into(&y, &mut wrong, &mut ws).is_err());
+    }
+
+    #[test]
+    fn lmm_colstable_columns_bit_identical_to_single_column_lmm() {
+        // The serving-batch contract end to end: every column of a
+        // batched factorized predict equals, bit for bit, the result of
+        // serving that column alone through `lmm_into`.
+        let ft = running_example();
+        let (rows, cols) = ft.target_shape();
+        let mut ws = Workspace::new();
+        for n in [1usize, 2, 5, 9] {
+            let x = x_for(cols, n, 31 + n as u64);
+            let mut batched = DenseMatrix::zeros(rows, n);
+            ft.lmm_colstable_into(&x, &mut batched, &mut ws).unwrap();
+            for j in 0..n {
+                let col = DenseMatrix::column_vector(&x.col(j));
+                let mut single = DenseMatrix::zeros(rows, 1);
+                ft.lmm_into(&col, &mut single, &mut ws).unwrap();
+                for i in 0..rows {
+                    assert!(
+                        batched.get(i, j).to_bits() == single.get(i, 0).to_bits(),
+                        "batch width {n}, cell ({i},{j}) differs"
+                    );
+                }
+            }
+            // And it is still the correct product.
+            assert!(batched.approx_eq(&ft.lmm(&x, Strategy::Compressed).unwrap(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn repeated_lmm_colstable_is_allocation_free_once_warm() {
+        let ft = running_example();
+        let (rows, cols) = ft.target_shape();
+        let x = x_for(cols, 4, 29);
+        let mut ws = Workspace::new();
+        let mut out = DenseMatrix::zeros(rows, 4);
+        ft.lmm_colstable_into(&x, &mut out, &mut ws).unwrap();
+        let warm = ws.fresh_allocations();
+        for _ in 0..10 {
+            ft.lmm_colstable_into(&x, &mut out, &mut ws).unwrap();
+        }
+        assert_eq!(ws.fresh_allocations(), warm);
     }
 
     #[test]

@@ -131,6 +131,68 @@ impl DenseMatrix {
         Ok(())
     }
 
+    /// Matrix product `self * rhs` with a **column-stable** summation
+    /// order: column `j` of the result is produced by exactly the same
+    /// floating-point operations as `self.matmul_into(col_j, …)` — the
+    /// matrix–vector `dot` fast path — no matter how many other columns
+    /// share the call. Request batching in `amalur-serve` relies on
+    /// this: predictions coalesced column-wise into one GEMM are
+    /// bit-identical to the same predictions served one at a time.
+    ///
+    /// The price is a transposed scratch copy of `rhs` (checked out of
+    /// `ws` and returned before the call comes back) and forgoing the
+    /// packed micro-kernel; row chunks still parallelize. Use the plain
+    /// [`DenseMatrix::matmul_into`] when cross-batch bit-stability is
+    /// not required.
+    ///
+    /// # Errors
+    /// Dimension mismatch of the operands or of `out`.
+    pub fn matmul_colstable_into(
+        &self,
+        rhs: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut crate::Workspace,
+    ) -> Result<()> {
+        if self.cols() != rhs.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "matmul_colstable",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        check_out_shape("matmul_colstable_into", out, m, n)?;
+        if n == 1 {
+            // Already the dot fast path — no scratch needed.
+            return self.matmul_into(rhs, out);
+        }
+        // Gather each rhs column contiguously: rhs_t[j·k + l] = rhs[l, j].
+        // With n == 1 the operand `v` handed to `dot` *is* rhs's single
+        // column; this scratch reproduces that operand exactly for every
+        // column of a wider batch.
+        let mut rhs_t = ws.take(n * k);
+        let b = rhs.as_slice();
+        for (l, brow) in b.chunks_exact(n).enumerate() {
+            for (j, &v) in brow.iter().enumerate() {
+                rhs_t[j * k + l] = v;
+            }
+        }
+        let a_slice = self.as_slice();
+        let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+        let rhs_t_ref = &rhs_t;
+        par_row_chunks(out.as_mut_slice(), n, flops, |i0, chunk| {
+            for (r, orow) in chunk.chunks_exact_mut(n).enumerate() {
+                let arow = &a_slice[(i0 + r) * k..(i0 + r + 1) * k];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = dot(arow, &rhs_t_ref[j * k..(j + 1) * k]);
+                }
+            }
+        });
+        ws.give(rhs_t);
+        Ok(())
+    }
+
     /// `selfᵀ * rhs` without materializing the transpose.
     ///
     /// Used heavily by the Gram-matrix rewrite (`TᵀT`) and gradient
@@ -628,6 +690,57 @@ mod tests {
         // Shape-checked.
         let mut wrong = DenseMatrix::zeros(9, 4);
         assert!(a.matmul_into(&b, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn matmul_colstable_matches_naive() {
+        let mut rng = rand::thread_rng();
+        let mut ws = crate::Workspace::new();
+        for (m, k, n) in [(9, 7, 5), (40, 33, 12), (1, 4, 3), (6, 1, 2)] {
+            let a = DenseMatrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
+            let b = DenseMatrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
+            let mut out = DenseMatrix::filled(m, n, 77.0); // dirty buffer
+            a.matmul_colstable_into(&b, &mut out, &mut ws).unwrap();
+            assert!(out.approx_eq(&matmul_naive(&a, &b), 1e-10));
+        }
+        let a = DenseMatrix::zeros(3, 2);
+        let b = DenseMatrix::zeros(4, 2);
+        let mut out = DenseMatrix::zeros(3, 2);
+        assert!(a.matmul_colstable_into(&b, &mut out, &mut ws).is_err());
+        let b = DenseMatrix::zeros(2, 5);
+        assert!(a.matmul_colstable_into(&b, &mut out, &mut ws).is_err());
+    }
+
+    #[test]
+    fn matmul_colstable_columns_bit_identical_to_matvec() {
+        // The serving-batch contract: column j of a batched product is
+        // bit-for-bit the n == 1 fast-path result for that column alone,
+        // at any batch width (including widths that would normally take
+        // the packed kernel).
+        let mut rng = rand::thread_rng();
+        let mut ws = crate::Workspace::new();
+        let a = DenseMatrix::random_uniform(70, 50, -1.0, 1.0, &mut rng);
+        for n in [2usize, 8, 17] {
+            let b = DenseMatrix::random_uniform(50, n, -1.0, 1.0, &mut rng);
+            let mut batched = DenseMatrix::zeros(70, n);
+            a.matmul_colstable_into(&b, &mut batched, &mut ws).unwrap();
+            for j in 0..n {
+                let col = DenseMatrix::column_vector(&b.col(j));
+                let single = a.matmul(&col).unwrap();
+                for i in 0..70 {
+                    assert!(
+                        batched.get(i, j).to_bits() == single.get(i, 0).to_bits(),
+                        "batch width {n}, cell ({i},{j}) differs"
+                    );
+                }
+            }
+        }
+        // Steady state: repeated calls reuse the pooled scratch.
+        let warm = ws.fresh_allocations();
+        let b = DenseMatrix::random_uniform(50, 8, -1.0, 1.0, &mut rng);
+        let mut out = DenseMatrix::zeros(70, 8);
+        a.matmul_colstable_into(&b, &mut out, &mut ws).unwrap();
+        assert_eq!(ws.fresh_allocations(), warm);
     }
 
     #[test]

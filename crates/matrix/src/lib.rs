@@ -67,10 +67,12 @@ mod workspace;
 pub use dense::DenseMatrix;
 pub use error::{MatrixError, Result};
 pub use gemm::{kernel_blocking, kernel_threads, parallel_flop_threshold};
-pub use par::{par_row_chunks, par_row_chunks_with};
+pub use par::{
+    par_row_chunks, par_row_chunks_with, set_thread_budget, thread_budget, with_thread_budget,
+};
 pub use select::{selection_matrix, NO_MATCH};
 pub use sparse::{CooMatrix, CsrMatrix};
-pub use workspace::Workspace;
+pub use workspace::{Workspace, WorkspaceArena, WorkspaceLease};
 
 /// Tolerance used throughout the workspace when comparing floating point
 /// results of algebraically-equivalent computation strategies.

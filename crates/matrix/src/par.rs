@@ -5,14 +5,64 @@
 //! workers reading shared inputs. [`par_row_chunks`] centralizes the
 //! chunking, the spawn-threshold policy and the `thread::scope` plumbing
 //! so each kernel only supplies the per-chunk closure.
+//!
+//! # Thread budget
+//!
+//! Long-lived hosts (the `amalur-serve` worker pool) run N request
+//! workers concurrently; if each kernel call then fanned out to all
+//! cores, the machine would run N × cores threads. The thread-local
+//! budget set by [`set_thread_budget`] / [`with_thread_budget`] caps how
+//! many workers *any* kernel invoked from the current thread may spawn,
+//! so a serving worker pinned to `cores / N` threads keeps the whole
+//! pool at ≤ cores kernel threads. The budget applies to both the
+//! automatic ([`par_row_chunks`]) and explicit
+//! ([`par_row_chunks_with`]) entry points; a budget of 1 forces fully
+//! serial kernels.
+
+use std::cell::Cell;
 
 /// Minimum amount of work (in FLOPs or touched cells) before threads
 /// are spawned; below this the scheduling overhead dominates.
 pub(crate) const PAR_WORK_THRESHOLD: usize = 4_000_000;
 
-/// Number of worker threads the kernels may use.
+thread_local! {
+    /// Per-thread cap on kernel worker threads; `usize::MAX` = uncapped.
+    static THREAD_BUDGET: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Caps the number of worker threads kernels called from this thread
+/// may spawn. A budget of 0 or 1 forces serial execution;
+/// `usize::MAX` restores the default (hardware parallelism).
+///
+/// The budget is thread-local: a serving worker sets it once at startup
+/// and every kernel it invokes afterwards respects it, without the cap
+/// leaking into other threads' kernels.
+pub fn set_thread_budget(threads: usize) {
+    THREAD_BUDGET.with(|b| b.set(threads.max(1)));
+}
+
+/// The current thread's kernel-thread budget (`usize::MAX` = uncapped).
+pub fn thread_budget() -> usize {
+    THREAD_BUDGET.with(Cell::get)
+}
+
+/// Runs `f` with the thread budget temporarily set to `threads`,
+/// restoring the previous budget afterwards (panic-safe only in the
+/// no-unwind sense: kernels here don't catch unwinds).
+pub fn with_thread_budget<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let prev = thread_budget();
+    set_thread_budget(threads);
+    let out = f();
+    set_thread_budget(prev);
+    out
+}
+
+/// Number of worker threads the kernels may use: hardware parallelism
+/// capped by the current thread's budget.
 pub(crate) fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(thread_budget())
 }
 
 /// Runs `work(first_row, chunk)` over disjoint row chunks of `out`.
@@ -37,7 +87,9 @@ where
 }
 
 /// [`par_row_chunks`] with an explicit worker count (factored out so the
-/// spawning path is testable on single-core machines).
+/// spawning path is testable on single-core machines). The count is
+/// still capped by the calling thread's budget (see module docs) so
+/// serving workers cannot oversubscribe even through this entry point.
 pub fn par_row_chunks_with<F>(
     out: &mut [f64],
     row_len: usize,
@@ -47,6 +99,7 @@ pub fn par_row_chunks_with<F>(
 ) where
     F: Fn(usize, &mut [f64]) + Sync,
 {
+    let threads = threads.min(thread_budget());
     let rows = out.len().checked_div(row_len).unwrap_or(0);
     if total_work < PAR_WORK_THRESHOLD || threads < 2 || rows < threads {
         work(0, out);
@@ -64,6 +117,8 @@ pub fn par_row_chunks_with<F>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
 
     #[test]
     fn small_work_runs_serially_on_full_buffer() {
@@ -125,5 +180,52 @@ mod tests {
         par_row_chunks(&mut out, 0, usize::MAX, |_, chunk| {
             assert!(chunk.is_empty());
         });
+    }
+
+    /// Distinct `first_row` values observed = number of chunks spawned.
+    fn count_chunks(rows: usize, row_len: usize, threads: usize) -> usize {
+        let mut out = vec![0.0; rows * row_len];
+        let seen = Mutex::new(BTreeSet::new());
+        par_row_chunks_with(&mut out, row_len, usize::MAX, threads, |first_row, _| {
+            seen.lock().unwrap().insert(first_row);
+        });
+        let seen = seen.into_inner().unwrap();
+        seen.len()
+    }
+
+    #[test]
+    fn budget_of_one_forces_serial_even_with_explicit_threads() {
+        with_thread_budget(1, || {
+            assert_eq!(count_chunks(1000, 8, 8), 1);
+        });
+    }
+
+    #[test]
+    fn budget_caps_explicit_worker_counts() {
+        with_thread_budget(2, || {
+            // Asked for 8 workers, budget allows 2 → at most 2 chunks.
+            assert!(count_chunks(1000, 8, 8) <= 2);
+        });
+        // Budget restored: 8 workers spawn again.
+        assert_eq!(count_chunks(1000, 8, 8), 8);
+    }
+
+    #[test]
+    fn budget_is_thread_local() {
+        set_thread_budget(1);
+        let other = std::thread::spawn(|| count_chunks(1000, 8, 4))
+            .join()
+            .unwrap();
+        assert_eq!(other, 4, "budget leaked into a fresh thread");
+        assert_eq!(count_chunks(1000, 8, 4), 1);
+        set_thread_budget(usize::MAX);
+    }
+
+    #[test]
+    fn with_thread_budget_restores_previous_budget() {
+        set_thread_budget(3);
+        with_thread_budget(1, || assert_eq!(thread_budget(), 1));
+        assert_eq!(thread_budget(), 3);
+        set_thread_budget(usize::MAX);
     }
 }

@@ -23,6 +23,7 @@
 //!   what dominate allocation traffic per epoch.
 
 use crate::{DenseMatrix, MatrixError, Result};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Capacity-tracked pool of `f64` buffers (see the module docs).
 #[derive(Debug, Default)]
@@ -95,6 +96,89 @@ impl Workspace {
     }
 }
 
+/// A sharded pool of [`Workspace`]s for long-lived multi-threaded hosts
+/// (the `amalur-serve` worker pool).
+///
+/// Each worker leases *its own* shard by index, so in steady state
+/// shards are uncontended and a worker sees exactly the single-threaded
+/// [`Workspace`] reuse behaviour: after the first few requests warm a
+/// shard's pool, subsequent requests on that shard perform zero fresh
+/// allocations. The arena is `Sync` — share it across worker threads
+/// behind an `Arc`.
+#[derive(Debug)]
+pub struct WorkspaceArena {
+    shards: Vec<Mutex<Workspace>>,
+}
+
+/// Exclusive lease on one arena shard; derefs to the [`Workspace`].
+pub struct WorkspaceLease<'a> {
+    guard: MutexGuard<'a, Workspace>,
+}
+
+impl std::ops::Deref for WorkspaceLease<'_> {
+    type Target = Workspace;
+    fn deref(&self) -> &Workspace {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for WorkspaceLease<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        &mut self.guard
+    }
+}
+
+impl WorkspaceArena {
+    /// Creates an arena with `shards` independent workspace pools
+    /// (at least one).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Workspace::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Leases shard `shard % self.shards()` (wrapping keeps any worker
+    /// index valid). Blocks if another thread holds the same shard —
+    /// by construction serving workers lease only their own.
+    pub fn lease(&self, shard: usize) -> WorkspaceLease<'_> {
+        let idx = shard % self.shards.len();
+        WorkspaceLease {
+            guard: self.shards[idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Total pool misses across all shards — the arena-wide analogue of
+    /// [`Workspace::fresh_allocations`], constant across requests once
+    /// every shard's pool is warm.
+    pub fn fresh_allocations(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .fresh_allocations()
+            })
+            .sum()
+    }
+
+    /// Total buffers currently checked in across all shards.
+    pub fn pooled(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).pooled())
+            .sum()
+    }
+}
+
 /// Validates that `out` has the expected shape for an `_into` kernel.
 pub(crate) fn check_out_shape(
     op: &'static str,
@@ -162,6 +246,64 @@ mod tests {
         let m2 = ws.take_matrix(2, 6);
         assert_eq!(ws.fresh_allocations(), 1);
         assert_eq!(m2.shape(), (2, 6));
+    }
+
+    #[test]
+    fn arena_shards_are_independent_pools() {
+        let arena = WorkspaceArena::new(2);
+        {
+            let mut ws = arena.lease(0);
+            let buf = ws.take(64);
+            ws.give(buf);
+        }
+        assert_eq!(arena.fresh_allocations(), 1);
+        {
+            // Shard 1 has its own (empty) pool: this is a miss.
+            let mut ws = arena.lease(1);
+            let buf = ws.take(64);
+            ws.give(buf);
+        }
+        assert_eq!(arena.fresh_allocations(), 2);
+        {
+            // Shard 0 again: warm pool, no new miss.
+            let mut ws = arena.lease(0);
+            let buf = ws.take(32);
+            ws.give(buf);
+        }
+        assert_eq!(arena.fresh_allocations(), 2);
+        assert_eq!(arena.pooled(), 2);
+    }
+
+    #[test]
+    fn arena_lease_wraps_shard_index_and_shares_across_threads() {
+        let arena = std::sync::Arc::new(WorkspaceArena::new(3));
+        assert_eq!(arena.shards(), 3);
+        std::thread::scope(|scope| {
+            for worker in 0..6usize {
+                let arena = std::sync::Arc::clone(&arena);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let mut ws = arena.lease(worker);
+                        let m = ws.take_matrix(4, 4);
+                        ws.give_matrix(m);
+                    }
+                });
+            }
+        });
+        // 6 workers wrap onto 3 shards; each shard allocated its one
+        // 16-element buffer at most twice (two workers may race the
+        // first take before either gives back).
+        assert!(arena.fresh_allocations() <= 6);
+        assert!(arena.pooled() >= 3);
+    }
+
+    #[test]
+    fn arena_zero_shards_clamps_to_one() {
+        let arena = WorkspaceArena::new(0);
+        assert_eq!(arena.shards(), 1);
+        let mut ws = arena.lease(7); // wraps onto the single shard
+        let buf = ws.take(8);
+        ws.give(buf);
     }
 
     #[test]

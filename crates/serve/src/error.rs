@@ -1,0 +1,80 @@
+//! Typed serving errors — admission control speaks through these.
+
+use amalur_catalog::CatalogError;
+use amalur_factorize::FactorizeError;
+use amalur_ml::MlError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Everything that can go wrong between submitting a request and
+/// receiving its response.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The bounded admission queue is full — the caller should back off
+    /// and retry. Carries the queue capacity so clients can reason
+    /// about load.
+    Overloaded {
+        /// Capacity of the admission queue that rejected the request.
+        capacity: usize,
+    },
+    /// The server is draining for shutdown and no longer admits work.
+    ShuttingDown,
+    /// Dataset resolution failed (unknown name, unknown version, or
+    /// retired dataset).
+    Dataset(CatalogError),
+    /// The request's matrix shapes don't fit the resolved dataset.
+    BadRequest(String),
+    /// A factorized kernel failed while executing the request.
+    Factorize(FactorizeError),
+    /// Model training failed.
+    Ml(MlError),
+    /// The worker executing the request disappeared before responding
+    /// (a bug or a poisoned panic — never part of normal operation).
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => f.write_str("server is shutting down"),
+            ServeError::Dataset(e) => write!(f, "dataset resolution failed: {e}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Factorize(e) => write!(f, "kernel failure: {e}"),
+            ServeError::Ml(e) => write!(f, "training failure: {e}"),
+            ServeError::WorkerLost => f.write_str("worker dropped the request without responding"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Dataset(e) => Some(e),
+            ServeError::Factorize(e) => Some(e),
+            ServeError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CatalogError> for ServeError {
+    fn from(e: CatalogError) -> Self {
+        ServeError::Dataset(e)
+    }
+}
+
+impl From<FactorizeError> for ServeError {
+    fn from(e: FactorizeError) -> Self {
+        ServeError::Factorize(e)
+    }
+}
+
+impl From<MlError> for ServeError {
+    fn from(e: MlError) -> Self {
+        ServeError::Ml(e)
+    }
+}

@@ -1,0 +1,50 @@
+//! `amalur-serve`: a concurrent serving layer over factorized datasets.
+//!
+//! The paper's pipeline ends where most deployments begin: once a
+//! factorized table is integrated and a plan chosen, something has to
+//! *host* it — answer prediction requests, retrain on demand, and stay
+//! fast while many clients hammer it at once. This crate is that host.
+//!
+//! # Architecture
+//!
+//! A [`Server`] owns no data; datasets live in an
+//! [`amalur_catalog::DatasetRegistry`]`<FactorizedTable>` and are
+//! resolved to `Arc<FactorizedTable>` at admission, so publishing a new
+//! version never disturbs requests already in flight. Three stages sit
+//! between a client and a kernel:
+//!
+//! 1. **Admission** ([`ServerHandle`]): resolution + shape validation,
+//!    then a `try_send` into a *bounded* queue. A full queue rejects
+//!    with [`ServeError::Overloaded`] immediately — load shedding is a
+//!    typed error, not a growing buffer.
+//! 2. **Batching dispatcher**: holds an admitted predict open for
+//!    [`ServerConfig::batch_window`], coalescing same-(dataset, version)
+//!    predicts into one GEMM of at most
+//!    [`ServerConfig::max_batch_cols`] columns. Batching is possible
+//!    *only because* the factorized kernels expose a column-stable
+//!    variant (`FactorizedTable::lmm_colstable_into`): column `j` of a
+//!    batched multiply is bit-identical to serving that column alone,
+//!    so coalescing is purely a throughput decision — it can never
+//!    change a client's answer.
+//! 3. **Workers**: a fixed pool, each thread leasing its own shard of a
+//!    [`amalur_matrix::WorkspaceArena`]. After warm-up, steady-state
+//!    serving performs **zero fresh workspace allocations** (observable
+//!    via [`ServerHandle::fresh_workspace_allocations`]). Each worker
+//!    caps its kernel parallelism with
+//!    [`amalur_matrix::set_thread_budget`] so `workers × kernel threads`
+//!    never exceeds the machine.
+//!
+//! [`Server::shutdown`] drains: admission stops (typed
+//! [`ServeError::ShuttingDown`]), every already-admitted request still
+//! completes, and outstanding [`Ticket`]s all resolve.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod request;
+mod server;
+
+pub use error::{Result, ServeError};
+pub use request::{PredictRequest, PredictResponse, Ticket, TrainRequest, TrainResponse};
+pub use server::{Server, ServerConfig, ServerHandle, StatsSnapshot};

@@ -1,0 +1,411 @@
+//! End-to-end serving tests: batching equivalence (bit-identical),
+//! admission control, graceful shutdown, steady-state allocations, and
+//! mixed concurrent train/predict traffic.
+
+use amalur_catalog::DatasetRegistry;
+use amalur_data::{generate_two_source, TwoSourceSpec};
+use amalur_factorize::FactorizedTable;
+use amalur_matrix::DenseMatrix;
+use amalur_ml::LinRegConfig;
+use amalur_serve::{PredictRequest, ServeError, Server, ServerConfig, TrainRequest};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture(seed: u64) -> FactorizedTable {
+    let spec = TwoSourceSpec {
+        rows_s1: 120,
+        cols_s1: 3,
+        rows_s2: 30,
+        cols_s2: 8,
+        seed,
+        ..TwoSourceSpec::default()
+    };
+    let (md, data) = generate_two_source(&spec).unwrap();
+    FactorizedTable::new(md, data).unwrap()
+}
+
+fn registry_with(name: &str, seed: u64) -> Arc<DatasetRegistry<FactorizedTable>> {
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.register(name, fixture(seed)).unwrap();
+    registry
+}
+
+fn feature_col(c_t: usize, tag: u64) -> DenseMatrix {
+    let vals: Vec<f64> = (0..c_t)
+        .map(|i| ((i as f64) * 0.37 + tag as f64 * 1.13).sin())
+        .collect();
+    DenseMatrix::from_vec(c_t, 1, vals).unwrap()
+}
+
+#[test]
+fn batched_predictions_are_bit_identical_to_unbatched() {
+    let registry = registry_with("ds", 7);
+    let table = registry.fetch("ds").unwrap().data;
+    let (_, c_t) = table.target_shape();
+    let n_requests = 8;
+
+    // Reference: each request served with no coalescing at all.
+    let solo = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            max_batch_cols: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let solo_handle = solo.handle();
+    let solo_answers: Vec<DenseMatrix> = (0..n_requests)
+        .map(|i| {
+            let resp = solo_handle
+                .predict(PredictRequest {
+                    dataset: "ds".into(),
+                    version: None,
+                    features: feature_col(c_t, i),
+                })
+                .unwrap();
+            assert_eq!(resp.batched_with, 1);
+            resp.predictions
+        })
+        .collect();
+    solo.shutdown();
+
+    // Batched: submit all tickets first so the dispatcher has companions
+    // to coalesce inside its (generous) window.
+    let batched = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            max_batch_cols: 16,
+            batch_window: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = batched.handle();
+    let tickets: Vec<_> = (0..n_requests)
+        .map(|i| {
+            handle
+                .submit_predict(PredictRequest {
+                    dataset: "ds".into(),
+                    version: None,
+                    features: feature_col(c_t, i),
+                })
+                .unwrap()
+        })
+        .collect();
+    let mut saw_coalesced = false;
+    for (ticket, expected) in tickets.into_iter().zip(&solo_answers) {
+        let resp = ticket.wait().unwrap();
+        saw_coalesced |= resp.batched_with > 1;
+        assert_eq!(resp.predictions.shape(), expected.shape());
+        // Bit-identical, not approximately equal: the column-stable GEMM
+        // guarantees coalescing can never change an answer.
+        let got: Vec<u64> = resp
+            .predictions
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let want: Vec<u64> = expected.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+    let stats = handle.stats();
+    assert!(
+        saw_coalesced && stats.coalesced_predicts >= 2,
+        "expected at least one coalesced batch, stats: {stats:?}"
+    );
+    assert!(stats.predict_batches < n_requests);
+    batched.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_typed_overloaded() {
+    let registry = registry_with("ds", 11);
+    let table = registry.fetch("ds").unwrap().data;
+    let (r_t, c_t) = table.target_shape();
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch_cols: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let handle = server.handle();
+
+    // Occupy the only worker with a long training job...
+    let train = handle
+        .submit_train(TrainRequest {
+            dataset: "ds".into(),
+            version: None,
+            labels: DenseMatrix::from_vec(r_t, 1, vec![1.0; r_t]).unwrap(),
+            config: LinRegConfig {
+                epochs: 5_000,
+                learning_rate: 1e-4,
+                ..LinRegConfig::default()
+            },
+        })
+        .unwrap();
+    // ...then flood predicts until the bounded queue pushes back.
+    let mut accepted = Vec::new();
+    let mut overloaded = false;
+    for i in 0..1_000 {
+        match handle.submit_predict(PredictRequest {
+            dataset: "ds".into(),
+            version: None,
+            features: feature_col(c_t, i),
+        }) {
+            Ok(t) => accepted.push(t),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2);
+                overloaded = true;
+                break;
+            }
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    assert!(overloaded, "bounded queue never reported Overloaded");
+    assert!(handle.stats().rejected >= 1);
+    // Everything that was admitted still completes.
+    train.wait().unwrap();
+    for t in accepted {
+        t.wait().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_admitted_requests_then_rejects_new_ones() {
+    let registry = registry_with("ds", 13);
+    let c_t = registry.fetch("ds").unwrap().data.target_shape().1;
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 2,
+            batch_window: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let tickets: Vec<_> = (0..12)
+        .map(|i| {
+            handle
+                .submit_predict(PredictRequest {
+                    dataset: "ds".into(),
+                    version: None,
+                    features: feature_col(c_t, i),
+                })
+                .unwrap()
+        })
+        .collect();
+    server.shutdown();
+    // Every admitted ticket resolved successfully during the drain.
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    assert!(matches!(
+        handle.predict(PredictRequest {
+            dataset: "ds".into(),
+            version: None,
+            features: feature_col(c_t, 0),
+        }),
+        Err(ServeError::ShuttingDown)
+    ));
+}
+
+#[test]
+fn steady_state_serving_is_workspace_allocation_free() {
+    let registry = registry_with("ds", 17);
+    let c_t = registry.fetch("ds").unwrap().data.target_shape().1;
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            max_batch_cols: 4,
+            batch_window: Duration::from_micros(50),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let send_round = |round: u64| {
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                handle
+                    .submit_predict(PredictRequest {
+                        dataset: "ds".into(),
+                        version: None,
+                        features: feature_col(c_t, round * 10 + i),
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    };
+    for round in 0..5 {
+        send_round(round); // warm the worker's arena shard
+    }
+    let warm = handle.fresh_workspace_allocations();
+    assert!(warm > 0, "warm-up must have populated the pool");
+    for round in 5..45 {
+        send_round(round);
+    }
+    assert_eq!(
+        handle.fresh_workspace_allocations(),
+        warm,
+        "steady-state serving allocated fresh workspace buffers"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unknown_dataset_and_bad_shapes_fail_at_admission() {
+    let registry = registry_with("ds", 19);
+    let c_t = registry.fetch("ds").unwrap().data.target_shape().1;
+    let server = Server::start(Arc::clone(&registry), ServerConfig::default());
+    let handle = server.handle();
+    assert!(matches!(
+        handle.predict(PredictRequest {
+            dataset: "missing".into(),
+            version: None,
+            features: feature_col(c_t, 0),
+        }),
+        Err(ServeError::Dataset(_))
+    ));
+    assert!(matches!(
+        handle.predict(PredictRequest {
+            dataset: "ds".into(),
+            version: Some(99),
+            features: feature_col(c_t, 0),
+        }),
+        Err(ServeError::Dataset(_))
+    ));
+    assert!(matches!(
+        handle.predict(PredictRequest {
+            dataset: "ds".into(),
+            version: None,
+            features: feature_col(c_t + 1, 0),
+        }),
+        Err(ServeError::BadRequest(_))
+    ));
+    // Rejected-at-admission requests consume no accepted slots.
+    assert_eq!(handle.stats().accepted, 0);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_train_and_predict_traffic_stays_deterministic() {
+    let registry = registry_with("ds", 23);
+    let table = registry.fetch("ds").unwrap().data;
+    let (r_t, c_t) = table.target_shape();
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 2,
+            batch_window: Duration::from_micros(100),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let labels = DenseMatrix::from_vec(r_t, 1, (0..r_t).map(|i| (i % 7) as f64).collect()).unwrap();
+    let config = LinRegConfig {
+        epochs: 30,
+        learning_rate: 1e-3,
+        ..LinRegConfig::default()
+    };
+
+    let mut clients = Vec::new();
+    for t in 0..4u64 {
+        let handle = handle.clone();
+        let labels = labels.clone();
+        let config = config.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut coef_bits: Vec<Vec<u64>> = Vec::new();
+            for i in 0..10 {
+                if i % 5 == 0 {
+                    let resp = handle
+                        .train(TrainRequest {
+                            dataset: "ds".into(),
+                            version: None,
+                            labels: labels.clone(),
+                            config: config.clone(),
+                        })
+                        .unwrap();
+                    coef_bits.push(
+                        resp.coefficients
+                            .as_slice()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect(),
+                    );
+                } else {
+                    handle
+                        .predict(PredictRequest {
+                            dataset: "ds".into(),
+                            version: None,
+                            features: feature_col(c_t, t * 100 + i),
+                        })
+                        .unwrap();
+                }
+            }
+            coef_bits
+        }));
+    }
+    let all_coefs: Vec<Vec<u64>> = clients
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    // Training is deterministic (zero init, fixed schedule): every fit of
+    // the same request must produce bit-identical coefficients, no matter
+    // which worker ran it or what ran concurrently.
+    for c in &all_coefs[1..] {
+        assert_eq!(c, &all_coefs[0]);
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.trains_done, 8);
+    assert_eq!(stats.predicts_done, 32);
+    server.shutdown();
+}
+
+#[test]
+fn version_pinning_serves_the_pinned_snapshot() {
+    let registry = registry_with("ds", 29);
+    let c_t = registry.fetch("ds").unwrap().data.target_shape().1;
+    let server = Server::start(Arc::clone(&registry), ServerConfig::default());
+    let handle = server.handle();
+    let x = feature_col(c_t, 3);
+    let v1_resp = handle
+        .predict(PredictRequest {
+            dataset: "ds".into(),
+            version: None,
+            features: x.clone(),
+        })
+        .unwrap();
+    assert_eq!(v1_resp.version, 1);
+
+    // Publish a different table under the same name (same shape, new data).
+    registry.publish("ds", fixture(31)).unwrap();
+    let latest = handle
+        .predict(PredictRequest {
+            dataset: "ds".into(),
+            version: None,
+            features: x.clone(),
+        })
+        .unwrap();
+    assert_eq!(latest.version, 2);
+    let pinned = handle
+        .predict(PredictRequest {
+            dataset: "ds".into(),
+            version: Some(1),
+            features: x,
+        })
+        .unwrap();
+    assert_eq!(pinned.version, 1);
+    assert_eq!(
+        pinned.predictions.as_slice(),
+        v1_resp.predictions.as_slice()
+    );
+    assert_ne!(latest.predictions.as_slice(), pinned.predictions.as_slice());
+    server.shutdown();
+}

@@ -1,10 +1,17 @@
 //! Minimal, offline stand-in for `crossbeam`.
 //!
-//! Provides [`channel::unbounded`] MPMC channels with cloneable senders
-//! *and* receivers (std's `mpsc::Receiver` is not `Clone`, which the
-//! federated-learning orchestrator relies on). Implemented as a
-//! `Mutex<VecDeque>` + `Condvar` with sender/receiver reference counts
-//! for disconnect detection.
+//! Provides [`channel::unbounded`] and [`channel::bounded`] MPMC
+//! channels with cloneable senders *and* receivers (std's
+//! `mpsc::Receiver` is not `Clone`, which the federated-learning
+//! orchestrator and the serving worker pool rely on). Implemented as a
+//! `Mutex<VecDeque>` + two `Condvar`s (item-ready / space-ready) with
+//! sender/receiver reference counts for disconnect detection.
+//!
+//! Bounded channels add the serving layer's admission-control surface:
+//! [`channel::Sender::try_send`] fails fast with
+//! [`channel::TrySendError::Full`] instead of queueing unboundedly, and
+//! [`channel::Receiver::recv_timeout`] gives the batching dispatcher a
+//! deadline-bounded wait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,7 +19,8 @@
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -22,11 +30,16 @@ pub mod channel {
 
     struct Shared<T> {
         state: Mutex<State<T>>,
+        /// Capacity bound; `None` for unbounded channels.
+        cap: Option<usize>,
+        /// Signalled when an item is enqueued (or endpoints disconnect).
         ready: Condvar,
+        /// Signalled when an item is dequeued (space for blocked senders).
+        room: Condvar,
     }
 
     impl<T> Shared<T> {
-        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
             self.state.lock().unwrap_or_else(PoisonError::into_inner)
         }
     }
@@ -42,6 +55,39 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message comes back unsent.
+        Full(T),
+        /// Every receiver is gone; the message comes back unsent.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+            }
+        }
+
+        /// Whether the failure was a full queue (as opposed to a
+        /// disconnected channel).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "sending on a full channel",
+                TrySendError::Disconnected(_) => "sending on a disconnected channel",
+            })
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and every sender is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -53,25 +99,44 @@ pub mod channel {
         }
     }
 
-    /// The sending half of an unbounded channel.
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                RecvTimeoutError::Timeout => "timed out waiting on an empty channel",
+                RecvTimeoutError::Disconnected => "receiving on an empty, disconnected channel",
+            })
+        }
+    }
+
+    /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// Creates an unbounded FIFO channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn new_pair<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
             }),
+            cap,
             ready: Condvar::new(),
+            room: Condvar::new(),
         });
         (
             Sender {
@@ -81,12 +146,58 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_pair(None)
+    }
+
+    /// Creates a bounded FIFO channel holding at most `cap` messages.
+    ///
+    /// `cap` must be at least 1 (crossbeam's zero-capacity rendezvous
+    /// channels are out of scope for this shim).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        new_pair(Some(cap))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues `msg`; fails only when all receivers were dropped.
+        /// Enqueues `msg`, blocking while a bounded channel is at
+        /// capacity; fails only when all receivers were dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self
+                            .shared
+                            .room
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking enqueue: fails fast when a bounded channel is at
+        /// capacity ([`TrySendError::Full`]) or every receiver is gone
+        /// ([`TrySendError::Disconnected`]).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.lock();
             if state.receivers == 0 {
-                return Err(SendError(msg));
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.shared.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
             }
             state.queue.push_back(msg);
             drop(state);
@@ -123,6 +234,8 @@ pub mod channel {
             let mut state = self.shared.lock();
             loop {
                 if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.room.notify_one();
                     return Ok(msg);
                 }
                 if state.senders == 0 {
@@ -136,9 +249,52 @@ pub mod channel {
             }
         }
 
+        /// Blocks until a message arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.room.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+            }
+        }
+
         /// Non-blocking variant: `None` when the queue is currently empty.
         pub fn try_recv(&self) -> Option<T> {
-            self.shared.lock().queue.pop_front()
+            let msg = self.shared.lock().queue.pop_front();
+            if msg.is_some() {
+                self.shared.room.notify_one();
+            }
+            msg
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -153,14 +309,23 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.lock().receivers -= 1;
+            let mut state = self.shared.lock();
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            if disconnected {
+                // Wake senders blocked on a full bounded queue so they
+                // observe the disconnect instead of sleeping forever.
+                self.shared.room.notify_all();
+            }
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvError};
+    use super::channel::{bounded, unbounded, RecvError, RecvTimeoutError, TrySendError};
+    use std::time::Duration;
 
     #[test]
     fn fifo_order() {
@@ -209,5 +374,75 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         tx.send(99).unwrap();
         assert_eq!(handle.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn try_send_fails_fast_when_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(TrySendError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap(); // space freed by the recv
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_send_reports_disconnect_over_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        drop(rx);
+        match tx.try_send(2) {
+            Err(e @ TrySendError::Disconnected(_)) => {
+                assert!(!e.is_full());
+                assert_eq!(e.into_inner(), 2);
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the main thread receives
+            2
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(handle.join().unwrap(), 2);
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u32>(4);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn queue_len_is_observable() {
+        let (tx, rx) = bounded(8);
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
     }
 }
