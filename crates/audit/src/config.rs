@@ -1,0 +1,275 @@
+//! `audit.toml` parsing: rule knobs and the violation baseline.
+//!
+//! The checker reads a deliberately tiny TOML subset — `[section]`
+//! headers, `key = "string"`, and `key = [ "…", "…" ]` arrays (single-
+//! or multi-line), with `#` comments — parsed by hand so the audit tool
+//! itself depends on nothing outside `std`.
+
+use std::collections::BTreeMap;
+
+/// Parsed contents of `audit.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct AuditConfig {
+    /// Function names that must not allocate **inside loops** even
+    /// though their prologue may (rule `no-alloc-in-into` treats
+    /// `*_into` suffixed functions as fully alloc-free instead).
+    pub no_alloc_functions: Vec<String>,
+    /// Substring patterns of paths exempt from the library-code rules
+    /// (`no-alloc-in-into`, `typed-errors`): tests, benches, examples,
+    /// binaries.
+    pub exempt_paths: Vec<String>,
+    /// Path prefixes whose code must be deterministic (rule
+    /// `determinism`).
+    pub determinism_paths: Vec<String>,
+    /// Path prefixes where channels must be bounded (rule
+    /// `bounded-channels`).
+    pub bounded_channel_paths: Vec<String>,
+    /// Path prefixes excluded from the walk entirely (vendored shims,
+    /// the checker's own violation fixtures).
+    pub exclude_paths: Vec<String>,
+    /// Baseline: rule id → list of `"path: reason"` entries. A
+    /// diagnostic matching an entry's path (exact or prefix) is reported
+    /// but does not fail the run.
+    pub allow: BTreeMap<String, Vec<AllowEntry>>,
+}
+
+/// One baseline entry: a path (exact file or prefix) plus the mandatory
+/// human-readable justification.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Repo-relative path the exception applies to.
+    pub path: String,
+    /// Why the exception is acceptable.
+    pub reason: String,
+}
+
+impl AuditConfig {
+    /// Parses the `audit.toml` text.
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending line.
+    pub fn parse(text: &str) -> Result<AuditConfig, String> {
+        let raw = parse_toml_subset(text)?;
+        let mut config = AuditConfig::default();
+        let list = |section: &str, key: &str| -> Vec<String> {
+            raw.get(section)
+                .and_then(|s| s.get(key))
+                .cloned()
+                .unwrap_or_default()
+        };
+        config.no_alloc_functions = list("no_alloc", "functions");
+        config.exempt_paths = list("exempt", "paths");
+        config.determinism_paths = list("determinism", "paths");
+        config.bounded_channel_paths = list("bounded_channels", "paths");
+        config.exclude_paths = list("walk", "exclude");
+        if let Some(allows) = raw.get("allow") {
+            for (rule, entries) in allows {
+                let mut parsed = Vec::new();
+                for entry in entries {
+                    let Some((path, reason)) = entry.split_once(": ") else {
+                        return Err(format!(
+                            "allow entry for `{rule}` is missing a `: reason` suffix: `{entry}`"
+                        ));
+                    };
+                    if reason.trim().is_empty() {
+                        return Err(format!(
+                            "allow entry for `{rule}` has an empty reason: `{entry}`"
+                        ));
+                    }
+                    parsed.push(AllowEntry {
+                        path: path.trim().to_owned(),
+                        reason: reason.trim().to_owned(),
+                    });
+                }
+                config.allow.insert(rule.clone(), parsed);
+            }
+        }
+        Ok(config)
+    }
+
+    /// Whether `rel_path` is exempt from the library-code rules.
+    pub fn is_exempt(&self, rel_path: &str) -> bool {
+        self.exempt_paths
+            .iter()
+            .any(|p| rel_path.contains(p.as_str()))
+    }
+
+    /// Whether `rel_path` falls under the determinism contract.
+    pub fn is_deterministic_path(&self, rel_path: &str) -> bool {
+        self.determinism_paths
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+    }
+
+    /// Whether `rel_path` falls under the bounded-channel contract.
+    pub fn is_bounded_channel_path(&self, rel_path: &str) -> bool {
+        self.bounded_channel_paths
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+    }
+
+    /// Whether `rel_path` is excluded from the walk.
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude_paths
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+    }
+}
+
+/// section → key → list of string values. Scalar strings parse as
+/// one-element lists.
+type RawToml = BTreeMap<String, BTreeMap<String, Vec<String>>>;
+
+fn parse_toml_subset(text: &str) -> Result<RawToml, String> {
+    let mut out: RawToml = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, line)) = lines.next() {
+        let line = strip_comment(line).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_owned();
+            out.entry(section.clone()).or_default();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", idx + 1));
+        };
+        let key = key.trim().to_owned();
+        let mut value = value.trim().to_owned();
+        if value.starts_with('[') {
+            // Accumulate a multi-line array until the closing bracket.
+            while !value.trim_end().ends_with(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("line {}: unterminated array", idx + 1));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            let inner = value
+                .trim()
+                .strip_prefix('[')
+                .and_then(|v| v.strip_suffix(']'))
+                .map(str::trim)
+                .ok_or_else(|| format!("line {}: malformed array", idx + 1))?
+                .to_owned();
+            let items = split_string_items(&inner).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            out.entry(section.clone()).or_default().insert(key, items);
+        } else {
+            let item = parse_string(&value).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            out.entry(section.clone())
+                .or_default()
+                .insert(key, vec![item]);
+        }
+    }
+    Ok(out)
+}
+
+/// Removes a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Splits `"a", "b", "c"` into its items.
+fn split_string_items(inner: &str) -> Result<Vec<String>, String> {
+    let mut items = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('"') {
+            return Err(format!("expected a quoted string at `{rest}`"));
+        }
+        let end = rest[1..]
+            .find('"')
+            .ok_or_else(|| format!("unterminated string in `{rest}`"))?;
+        items.push(rest[1..1 + end].to_owned());
+        rest = rest[2 + end..].trim_start();
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected `,` between items at `{rest}`"));
+        }
+    }
+    Ok(items)
+}
+
+/// Parses a single `"…"` scalar.
+fn parse_string(value: &str) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_owned)
+        .ok_or_else(|| format!("expected a quoted string, found `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# top comment
+[no_alloc]
+functions = ["fit_with_workspace"]
+
+[exempt]
+paths = [
+    "tests/",      # trailing comment
+    "benches/",
+]
+
+[determinism]
+paths = ["crates/gen/src"]
+
+[allow]
+typed_errors = [
+    "crates/data/src/hospital.rs: static dataset literal",
+]
+"#;
+
+    #[test]
+    fn parses_sections_arrays_and_allows() {
+        let config = AuditConfig::parse(SAMPLE).unwrap();
+        assert_eq!(config.no_alloc_functions, vec!["fit_with_workspace"]);
+        assert_eq!(config.exempt_paths, vec!["tests/", "benches/"]);
+        assert!(config.is_exempt("crates/ml/tests/foo.rs"));
+        assert!(!config.is_exempt("crates/ml/src/foo.rs"));
+        assert!(config.is_deterministic_path("crates/gen/src/diff.rs"));
+        let allows = config.allow.get("typed_errors").unwrap();
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].path, "crates/data/src/hospital.rs");
+        assert_eq!(allows[0].reason, "static dataset literal");
+    }
+
+    #[test]
+    fn allow_entries_require_reasons() {
+        let bad = "[allow]\ntyped_errors = [\"crates/x.rs\"]\n";
+        assert!(AuditConfig::parse(bad).is_err());
+        let empty = "[allow]\ntyped_errors = [\"crates/x.rs: \"]\n";
+        assert!(AuditConfig::parse(empty).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(AuditConfig::parse("[s]\nnot a kv\n").is_err());
+        assert!(AuditConfig::parse("[s]\nk = [\"unterminated\n").is_err());
+        assert!(AuditConfig::parse("[s]\nk = bare\n").is_err());
+    }
+
+    #[test]
+    fn empty_config_is_valid() {
+        let config = AuditConfig::parse("").unwrap();
+        assert!(config.no_alloc_functions.is_empty());
+        assert!(config.allow.is_empty());
+    }
+}

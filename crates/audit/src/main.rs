@@ -1,0 +1,74 @@
+//! CLI entry point: audits the workspace and exits non-zero on
+//! unbaselined violations. See the crate docs of `amalur_audit`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!("amalur-audit: cannot locate the workspace root (no audit.toml found)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match amalur_audit::load_config(&root) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("amalur-audit: bad audit.toml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match amalur_audit::audit_workspace(&root, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("amalur-audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for (diag, reason) in &report.baselined {
+        println!("{diag} [baselined: {reason}]");
+    }
+    for warning in &report.unused_allows {
+        eprintln!("warning: {warning}");
+    }
+    for diag in &report.violations {
+        println!("{diag}");
+    }
+    println!(
+        "amalur-audit: {} files, {} violation(s), {} baselined, {} stale allow(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.baselined.len(),
+        report.unused_allows.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` under `cargo run`,
+/// otherwise the nearest ancestor of the current directory holding an
+/// `audit.toml`.
+fn workspace_root() -> Option<PathBuf> {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(manifest);
+        if let Some(root) = candidate.parent().and_then(|p| p.parent()) {
+            if root.join("audit.toml").is_file() {
+                return Some(root.to_path_buf());
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("audit.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

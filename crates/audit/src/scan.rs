@@ -1,0 +1,522 @@
+//! Token-level source scanning: masking, region tracking, and intra-file
+//! function extraction.
+//!
+//! The scanner never parses Rust properly — it only needs enough lexical
+//! structure to answer three questions honestly:
+//!
+//! 1. **Is this byte inside a comment, string, or char literal?**
+//!    [`mask`] rewrites every such byte to a space (newlines survive so
+//!    line numbers stay true), which makes all downstream checks simple
+//!    substring searches that cannot be fooled by `"vec![..]"` inside a
+//!    doc comment or a format string.
+//! 2. **Is this byte inside `#[cfg(test)]` code?** [`test_regions`]
+//!    brace-matches the item following each `#[cfg(test)]` attribute.
+//! 3. **Which function body am I in, and am I inside one of its
+//!    loops?** [`functions`] extracts `fn name … { body }` spans and the
+//!    `for`/`while`/`loop` block spans nested in them.
+//!
+//! Everything operates on byte offsets into the *original* source, so a
+//! finding converts to `line:col` with [`line_col`].
+
+/// A half-open byte range `[start, end)` into the scanned source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub start: usize,
+    /// One past the last byte of the region.
+    pub end: usize,
+}
+
+impl Region {
+    /// Whether `offset` falls inside the region.
+    pub fn contains(&self, offset: usize) -> bool {
+        self.start <= offset && offset < self.end
+    }
+}
+
+/// One extracted function: its name, body span, and loop-block spans.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The identifier after `fn`.
+    pub name: String,
+    /// Byte span of the body, including the outer braces.
+    pub body: Region,
+    /// Byte spans of every `for`/`while`/`loop` block inside the body
+    /// (nested loops produce overlapping spans — harmless for "is this
+    /// offset inside a loop" queries).
+    pub loops: Vec<Region>,
+}
+
+/// Replaces every byte of comments (line, nested block), string literals
+/// (plain, raw, byte), and char literals with a space, preserving
+/// newlines and total length. Lifetimes (`'a`) are left intact.
+pub fn mask(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = mask_string(b, &mut out, i),
+            b'r' | b'b' if !ident_char_before(b, i) => {
+                // Possible raw/byte literal prefix: r"…", r#"…"#, b"…",
+                // br#"…"#, b'…'.
+                let mut j = i + 1;
+                if b[i] == b'b' && b.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                let raw = j > i + 1 || b[i] == b'r';
+                if b.get(j) == Some(&b'"') && (raw || b[i] == b'b') {
+                    for slot in out.iter_mut().take(j + 1).skip(i) {
+                        *slot = b' ';
+                    }
+                    i = if raw || hashes > 0 {
+                        mask_raw_string(b, &mut out, j, hashes)
+                    } else {
+                        mask_string(b, &mut out, j)
+                    };
+                } else if b[i] == b'b' && b.get(i + 1) == Some(&b'\'') {
+                    out[i] = b' ';
+                    i = mask_char(b, &mut out, i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                if is_char_literal(b, i) {
+                    i = mask_char(b, &mut out, i);
+                } else {
+                    i += 1; // lifetime
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Masked regions are replaced byte-for-byte with ASCII spaces and
+    // unmasked bytes are untouched, so the result stays valid UTF-8; an
+    // (unreachable) violation falls back to a lossy conversion.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Whether the byte before `i` can be part of an identifier (which would
+/// make `r`/`b` at `i` an identifier tail, not a literal prefix).
+fn ident_char_before(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Masks a `"…"` literal starting at the opening quote; returns the
+/// offset just past the closing quote.
+fn mask_string(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    out[start] = b' ';
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                out[i] = b' ';
+                if i + 1 < b.len() {
+                    if b[i + 1] != b'\n' {
+                        out[i + 1] = b' ';
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out[i] = b' ';
+                return i + 1;
+            }
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Masks a raw string starting at its opening quote (`hashes` `#`s close
+/// it); returns the offset just past the closing delimiter.
+fn mask_raw_string(b: &[u8], out: &mut [u8], quote: usize, hashes: usize) -> usize {
+    out[quote] = b' ';
+    let mut i = quote + 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            for slot in out.iter_mut().take((i + 1 + hashes).min(b.len())).skip(i) {
+                *slot = b' ';
+            }
+            return i + 1 + hashes;
+        }
+        if b[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Whether the `'` at `i` opens a char literal (vs a lifetime): escaped
+/// contents, or exactly one char followed by a closing `'`.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) => {
+            let width = utf8_width(c);
+            b.get(i + 1 + width) == Some(&b'\'')
+        }
+        None => false,
+    }
+}
+
+/// Masks a `'…'` char literal starting at the opening quote; returns the
+/// offset just past the closing quote.
+fn mask_char(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    out[start] = b' ';
+    let mut i = start + 1;
+    if b.get(i) == Some(&b'\\') {
+        out[i] = b' ';
+        i += 1;
+        if i < b.len() && b[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+        // Multi-byte escapes: \u{…}, \x7f.
+        while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+            out[i] = b' ';
+            i += 1;
+        }
+    } else if i < b.len() {
+        let width = utf8_width(b[i]);
+        for slot in out.iter_mut().take((i + width).min(b.len())).skip(i) {
+            *slot = b' ';
+        }
+        i += width;
+    }
+    if b.get(i) == Some(&b'\'') {
+        out[i] = b' ';
+        i += 1;
+    }
+    i
+}
+
+/// Byte length of the UTF-8 sequence starting with `first`.
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Converts a byte offset into 1-based `(line, column)`.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let upto = &src.as_bytes()[..offset.min(src.len())];
+    let line = upto.iter().filter(|&&c| c == b'\n').count() + 1;
+    let col = upto.iter().rev().take_while(|&&c| c != b'\n').count() + 1;
+    (line, col)
+}
+
+/// Spans of `#[cfg(test)]`-gated items in masked source: the attribute
+/// plus the brace-matched item that follows (or up to the first `;` for
+/// brace-less items).
+pub fn test_regions(masked: &str) -> Vec<Region> {
+    let b = masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_from(masked, "#[cfg(test)]", from) {
+        let mut i = pos + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes before the item.
+        loop {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if b.get(i) == Some(&b'#') && b.get(i + 1) == Some(&b'[') {
+                i = match_delim(b, i + 1, b'[', b']');
+            } else {
+                break;
+            }
+        }
+        // The item ends at its matched `{…}` block, or at `;` for
+        // brace-less items (`mod tests;`, gated `use`s).
+        let mut end = b.len();
+        let mut j = i;
+        while j < b.len() {
+            match b[j] {
+                b'{' => {
+                    end = match_delim(b, j, b'{', b'}');
+                    break;
+                }
+                b';' => {
+                    end = j + 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        regions.push(Region { start: pos, end });
+        from = end.max(pos + 1);
+    }
+    regions
+}
+
+/// Advances past a balanced `open…close` delimiter pair starting at
+/// `start` (which must hold `open`); returns the offset just past the
+/// matching closer, or the end of input when unbalanced.
+fn match_delim(b: &[u8], start: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < b.len() {
+        if b[i] == open {
+            depth += 1;
+        } else if b[i] == close {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// `str::find` from a starting offset, returning an absolute offset.
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| p + from)
+}
+
+/// Whether the identifier-boundary condition holds around
+/// `[start, end)`: the adjacent bytes are not identifier chars.
+pub fn ident_boundary(b: &[u8], start: usize, end: usize) -> bool {
+    let before_ok = start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_');
+    let after_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+    before_ok && after_ok
+}
+
+/// Extracts every `fn` definition with a body from masked source,
+/// including its loop-block spans.
+pub fn functions(masked: &str) -> Vec<Function> {
+    let b = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_from(masked, "fn", from) {
+        from = pos + 2;
+        if !ident_boundary(b, pos, pos + 2) {
+            continue;
+        }
+        let mut i = pos + 2;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        if i == name_start {
+            continue; // `fn` keyword without a name (e.g. `Fn` trait syntax)
+        }
+        let name = masked[name_start..i].to_owned();
+        // Find the parameter list and skip past it (generics may hold
+        // no parens, so the first `(` at this point is the param list).
+        while i < b.len() && b[i] != b'(' && b[i] != b'{' && b[i] != b';' {
+            i += 1;
+        }
+        if b.get(i) != Some(&b'(') {
+            continue;
+        }
+        i = match_delim(b, i, b'(', b')');
+        // Between params and body: return type / where clause. A `;`
+        // first means a body-less declaration (trait method signature).
+        let mut body_start = None;
+        while i < b.len() {
+            match b[i] {
+                b'{' => {
+                    body_start = Some(i);
+                    break;
+                }
+                b';' => break,
+                b'(' => i = match_delim(b, i, b'(', b')'),
+                b'[' => i = match_delim(b, i, b'[', b']'),
+                _ => i += 1,
+            }
+        }
+        let Some(body_start) = body_start else {
+            continue;
+        };
+        let body_end = match_delim(b, body_start, b'{', b'}');
+        out.push(Function {
+            name,
+            body: Region {
+                start: body_start,
+                end: body_end,
+            },
+            loops: loop_regions(masked, body_start, body_end),
+        });
+        from = body_start + 1; // nested fns are still discovered
+    }
+    out
+}
+
+/// Spans of `for`/`while`/`loop` blocks inside `[start, end)`.
+fn loop_regions(masked: &str, start: usize, end: usize) -> Vec<Region> {
+    let b = masked.as_bytes();
+    let mut regions = Vec::new();
+    for kw in ["for", "while", "loop"] {
+        let mut from = start;
+        while let Some(pos) = find_from(masked, kw, from) {
+            if pos >= end {
+                break;
+            }
+            from = pos + kw.len();
+            if !ident_boundary(b, pos, pos + kw.len()) {
+                continue;
+            }
+            // The loop body is the first `{` at bracket/paren depth 0
+            // after the keyword (closure braces inside the iterator
+            // expression sit at paren depth > 0 and are skipped).
+            let mut i = pos + kw.len();
+            let mut body = None;
+            while i < end.min(b.len()) {
+                match b[i] {
+                    b'(' => i = match_delim(b, i, b'(', b')'),
+                    b'[' => i = match_delim(b, i, b'[', b']'),
+                    b'{' => {
+                        body = Some(i);
+                        break;
+                    }
+                    b';' => break,
+                    _ => i += 1,
+                }
+            }
+            if let Some(body_start) = body {
+                let body_end = match_delim(b, body_start, b'{', b'}').min(end);
+                regions.push(Region {
+                    start: body_start,
+                    end: body_end,
+                });
+            }
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_strings_and_chars() {
+        let src = r#"let x = "vec![inside]"; // vec![comment]
+let c = 'v'; let s = 'static_lt; /* vec![block /* nested */ ] */ let v = vec![1];"#;
+        let m = mask(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.matches("vec![").count(), 1, "only the real vec! survives");
+        assert!(m.contains("'static_lt"), "lifetimes survive masking");
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let src =
+            r###"let a = r#"unwrap() "quoted" inside"#; let b = br"expect("; a.real_call()"###;
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("expect"));
+        assert!(m.contains("real_call"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"b.unwrap()"; keep()"#;
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("keep()"));
+    }
+
+    #[test]
+    fn finds_test_regions() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap() }\n}\nfn after() {}";
+        let m = mask(src);
+        let regions = test_regions(&m);
+        assert_eq!(regions.len(), 1);
+        let unwrap_at = src.find("unwrap").unwrap_or(0);
+        assert!(regions[0].contains(unwrap_at));
+        let after_at = src.find("after").unwrap_or(0);
+        assert!(!regions[0].contains(after_at));
+    }
+
+    #[test]
+    fn extracts_functions_and_loops() {
+        let src = "fn outer(a: usize) -> Vec<u8> {\n  let v = setup();\n  for i in 0..a {\n    inner(i);\n  }\n  v\n}\nfn no_body();\n";
+        let fns = functions(&mask(src));
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "outer");
+        assert_eq!(fns[0].loops.len(), 1);
+        let inner_at = src.find("inner").unwrap_or(0);
+        let setup_at = src.find("setup").unwrap_or(0);
+        assert!(fns[0].loops[0].contains(inner_at));
+        assert!(!fns[0].loops[0].contains(setup_at));
+        assert!(fns[0].body.contains(setup_at));
+    }
+
+    #[test]
+    fn closure_braces_in_loop_header_are_skipped() {
+        let src =
+            "fn f(xs: &[u8]) {\n  for x in xs.iter().map(|v| { v + 1 }) {\n    body(x);\n  }\n}";
+        let fns = functions(&mask(src));
+        let body_at = src.find("body").unwrap_or(0);
+        assert_eq!(fns[0].loops.len(), 1);
+        assert!(fns[0].loops[0].contains(body_at));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 4), (2, 2));
+        assert_eq!(line_col(src, 7), (3, 1));
+    }
+}

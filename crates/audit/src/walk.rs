@@ -1,0 +1,61 @@
+//! Deterministic workspace file discovery.
+
+use crate::config::AuditConfig;
+use std::path::Path;
+
+/// All `.rs` files under the workspace root that the audit covers,
+/// repo-relative with `/` separators, sorted. Skips `target/`, hidden
+/// directories, and every configured exclude prefix (vendored shims,
+/// the checker's own violation fixtures).
+///
+/// # Errors
+/// A human-readable message when a directory cannot be read.
+pub fn workspace_sources(root: &Path, config: &AuditConfig) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            let rel = relative(root, &path);
+            if config.is_excluded(&rel) {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(rel);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Crate roots (each crate's `src/lib.rs`, plus the workspace package's
+/// own `src/lib.rs`) among the discovered sources.
+pub fn crate_roots(sources: &[String]) -> Vec<String> {
+    sources
+        .iter()
+        .filter(|p| p.ends_with("src/lib.rs"))
+        .cloned()
+        .collect()
+}
+
+/// `path` relative to `root`, with `/` separators.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,9 @@
+//! Fixture: rule `bounded-channels`. Never compiled — read by tests.
+
+use crossbeam::channel::{bounded, unbounded};
+
+pub fn wires(n: usize) {
+    let (_tx_ok, _rx_ok) = bounded::<u8>(n.max(1));
+    let (_tx_bad, _rx_bad) = unbounded::<u8>();
+    // An unbounded() mention in a comment does not count.
+}

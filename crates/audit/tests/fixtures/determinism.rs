@@ -1,0 +1,22 @@
+//! Fixture: rule `determinism`. Never compiled — read by tests.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn seeded_but_leaky() -> u64 {
+    let started = Instant::now();
+    let _stamp = SystemTime::now();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    counts.insert(0, 1);
+    let seen: std::collections::HashSet<u64> = counts.keys().copied().collect();
+    started.elapsed().as_nanos() as u64 + seen.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_clocks() {
+        let _ = std::time::Instant::now();
+        let _ = std::collections::HashSet::<u8>::new();
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: rule `no-alloc-in-into`. Never compiled — read by tests.
+
+pub fn gemm_into(out: &mut [f64]) {
+    let scratch = Vec::new();
+    let copy = DenseMatrix::zeros(2, 2);
+    out[0] = scratch.len() as f64 + copy.get(0, 0);
+}
+
+pub fn fit_with_workspace(n: usize) {
+    let theta = DenseMatrix::zeros(n, 1);
+    for _ in 0..n {
+        let g = vec![0.0; n];
+        drop(g);
+    }
+    drop(theta);
+}
+
+pub fn unrelated(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper_into() {
+        let v = Vec::new();
+        drop(v);
+    }
+}

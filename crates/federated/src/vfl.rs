@@ -49,7 +49,7 @@ use crate::{FederatedError, Result};
 use amalur_crypto::sharing::{additive, FixedPoint};
 use amalur_crypto::{Ciphertext, KeyPair};
 use amalur_matrix::DenseMatrix;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::SeedableRng;
 use std::time::Instant;
 
@@ -461,10 +461,15 @@ pub fn train_vfl_with_transport<T: Transport>(
 
     let mut to_party: Vec<Sender<ToParty>> = Vec::with_capacity(n_parties);
     let mut inboxes: Vec<Receiver<ToParty>> = Vec::with_capacity(n_parties);
+    // Every exchange is strict request/reply, so each per-party channel
+    // holds at most one in-flight message; a party-count capacity keeps
+    // the wires bounded (backpressure instead of silent buffering) with
+    // ample headroom.
+    let channel_capacity = n_parties.max(1);
     let (from_tx, from_rx_template): (Vec<Sender<FromParty>>, Vec<Receiver<FromParty>>) =
-        (0..n_parties).map(|_| unbounded()).unzip();
+        (0..n_parties).map(|_| bounded(channel_capacity)).unzip();
     for _ in 0..n_parties {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(channel_capacity);
         to_party.push(tx);
         inboxes.push(rx);
     }

@@ -131,7 +131,7 @@ fn killed_and_resumed_run_is_bit_identical() {
         while orch.round() < 15 {
             orch.step().unwrap();
         }
-        orch.checkpoint().to_json()
+        orch.checkpoint().to_json().unwrap()
     };
 
     // Second incarnation: parse, resume, finish.

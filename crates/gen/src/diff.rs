@@ -104,6 +104,12 @@ pub fn check_scenario(
     Ok(divergences)
 }
 
+/// Infrastructure-failure message for a model that reports success from
+/// `fit` but exposes no fitted state (would indicate an `amalur-ml` bug).
+fn not_fitted(side: &str) -> String {
+    format!("{side} model reports unfitted state after successful fit")
+}
+
 /// Runs one workload both ways; `Ok(Some(..))` is a divergence,
 /// `Err(..)` an infrastructure failure.
 fn check_workload(
@@ -127,8 +133,8 @@ fn check_workload(
             let mut mat = LinearRegression::new(config);
             mat.fit(&ft.materialize(), &y).map_err(|e| e.to_string())?;
             let diverged = matrices_differ(
-                fact.coefficients().expect("fitted"),
-                mat.coefficients().expect("fitted"),
+                fact.coefficients().ok_or_else(|| not_fitted("fact"))?,
+                mat.coefficients().ok_or_else(|| not_fitted("mat"))?,
                 tol,
                 "coefficients",
             )
@@ -151,8 +157,8 @@ fn check_workload(
                 .predict_proba(&ft.materialize())
                 .map_err(|e| e.to_string())?;
             let diverged = matrices_differ(
-                fact.coefficients().expect("fitted"),
-                mat.coefficients().expect("fitted"),
+                fact.coefficients().ok_or_else(|| not_fitted("fact"))?,
+                mat.coefficients().ok_or_else(|| not_fitted("mat"))?,
                 tol,
                 "coefficients",
             )
@@ -185,8 +191,8 @@ fn check_workload(
                 Some(format!("inertia {} vs {}", fact.inertia(), mat.inertia()))
             } else {
                 matrices_differ(
-                    fact.centroids().expect("fitted"),
-                    mat.centroids().expect("fitted"),
+                    fact.centroids().ok_or_else(|| not_fitted("fact"))?,
+                    mat.centroids().ok_or_else(|| not_fitted("mat"))?,
                     tol,
                     "centroids",
                 )
@@ -213,21 +219,13 @@ fn check_workload(
             fact.fit(&ft_nn).map_err(|e| e.to_string())?;
             let mut mat = Gnmf::new(config);
             mat.fit(&ft_nn.materialize()).map_err(|e| e.to_string())?;
-            let diverged = matrices_differ(
-                fact.w().expect("fitted"),
-                mat.w().expect("fitted"),
-                tol,
-                "W",
-            )
-            .or_else(|| {
-                matrices_differ(
-                    fact.h().expect("fitted"),
-                    mat.h().expect("fitted"),
-                    tol,
-                    "H",
-                )
-            })
-            .or_else(|| series_differ(fact.loss_history(), mat.loss_history(), tol, "loss"));
+            let fw = fact.w().ok_or_else(|| not_fitted("fact"))?;
+            let mw = mat.w().ok_or_else(|| not_fitted("mat"))?;
+            let fh = fact.h().ok_or_else(|| not_fitted("fact"))?;
+            let mh = mat.h().ok_or_else(|| not_fitted("mat"))?;
+            let diverged = matrices_differ(fw, mw, tol, "W")
+                .or_else(|| matrices_differ(fh, mh, tol, "H"))
+                .or_else(|| series_differ(fact.loss_history(), mat.loss_history(), tol, "loss"));
             Ok(diverged.map(|detail| Divergence { workload, detail }))
         }
     }

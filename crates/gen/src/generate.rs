@@ -351,7 +351,10 @@ fn source_data(
             let keep = rng.gen_bool(density);
             let v = rng.gen_range(-1.0..1.0);
             if keep {
-                coo.push(i, j, v).expect("in-bounds by construction");
+                // `i < rows` and `j < cols` by loop bounds, so the push
+                // cannot fail; debug builds still verify the invariant.
+                let pushed = coo.push(i, j, v);
+                debug_assert!(pushed.is_ok());
             }
         }
     }

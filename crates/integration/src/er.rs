@@ -20,7 +20,7 @@
 
 use crate::{IntegrationError, Result};
 use amalur_relational::Table;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A scored row correspondence `(left row, right row)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,9 +79,10 @@ pub fn match_rows(
 
     let mut candidates: Vec<RowMatch> = Vec::new();
 
-    // Exact phase: hash equality on the rendered key (NULL renders empty
-    // and is skipped — NULL matches nothing).
-    let mut exact: HashMap<&str, Vec<usize>> = HashMap::new();
+    // Exact phase: key equality on the rendered key (NULL renders empty
+    // and is skipped — NULL matches nothing). BTreeMap keeps iteration
+    // (and hence candidate emission) in a deterministic order.
+    let mut exact: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for (j, k) in rkeys.iter().enumerate() {
         if !k.is_empty() {
             exact.entry(k.as_str()).or_default().push(j);
@@ -111,7 +112,7 @@ pub fn match_rows(
     if !config.exact_only {
         let block_of =
             |s: &str| -> Option<char> { s.chars().next().map(|c| c.to_ascii_lowercase()) };
-        let mut blocks: HashMap<char, Vec<usize>> = HashMap::new();
+        let mut blocks: BTreeMap<char, Vec<usize>> = BTreeMap::new();
         for (j, k) in rkeys.iter().enumerate() {
             if right_exactly_matched[j] {
                 continue;
@@ -362,6 +363,46 @@ mod tests {
     fn unknown_key_column_errors() {
         assert!(match_rows(&left(), &right(), "nope", "n", &ErConfig::default()).is_err());
         assert!(match_rows(&left(), &right(), "n", "nope", &ErConfig::default()).is_err());
+    }
+
+    #[test]
+    fn matching_is_deterministic_and_order_pinned() {
+        // Ambiguous input: two fuzzy candidates per side competing for
+        // the same rows, plus an exact tie. With hash-ordered blocking
+        // the greedy resolution could flip between runs; the BTreeMap
+        // containers pin the exact output.
+        let l = TableBuilder::new("l", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec!["Jane".into()])
+            .unwrap()
+            .row(vec!["Janet".into()])
+            .unwrap()
+            .row(vec!["Jan".into()])
+            .unwrap()
+            .row(vec!["Rose".into()])
+            .unwrap()
+            .build();
+        let r = TableBuilder::new("r", &[("n", DataType::Utf8)])
+            .unwrap()
+            .row(vec!["Janett".into()])
+            .unwrap()
+            .row(vec!["Jane".into()])
+            .unwrap()
+            .row(vec!["Rosa".into()])
+            .unwrap()
+            .build();
+        let expected = match_rows(&l, &r, "n", "n", &ErConfig::default()).unwrap();
+        assert!(!expected.is_empty());
+        // Output is sorted by (left, right) — a stable public order.
+        for w in expected.windows(2) {
+            assert!((w[0].left, w[0].right) < (w[1].left, w[1].right));
+        }
+        // Bit-identical across repeated runs in the same process (fresh
+        // containers each call, so this exercises iteration order).
+        for _ in 0..16 {
+            let again = match_rows(&l, &r, "n", "n", &ErConfig::default()).unwrap();
+            assert_eq!(again, expected);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! above a threshold yields the final correspondences.
 
 use amalur_relational::{DataType, Table};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A scored correspondence between a column of the left table and a
 /// column of the right table.
@@ -86,7 +86,7 @@ fn dice_bigrams(a: &str, b: &str) -> f64 {
     if ba.is_empty() || bb.is_empty() {
         return if a == b && !a.is_empty() { 1.0 } else { 0.0 };
     }
-    let set_a: HashSet<(char, char)> = ba.iter().copied().collect();
+    let set_a: BTreeSet<(char, char)> = ba.iter().copied().collect();
     let inter = bb.iter().filter(|g| set_a.contains(g)).count();
     2.0 * inter as f64 / (ba.len() + bb.len()) as f64
 }
@@ -98,9 +98,13 @@ fn types_compatible(a: DataType, b: DataType) -> bool {
 
 /// Jaccard similarity of distinct rendered values (up to `sample` each).
 fn value_overlap(left: &Table, lcol: &str, right: &Table, rcol: &str, sample: usize) -> f64 {
-    let distinct = |t: &Table, col: &str| -> HashSet<String> {
-        let c = t.column_by_name(col).expect("validated by caller");
-        let mut out = HashSet::new();
+    let distinct = |t: &Table, col: &str| -> BTreeSet<String> {
+        // Callers validated the column name; an empty set (zero overlap)
+        // is the defensive answer for the unreachable miss.
+        let Ok(c) = t.column_by_name(col) else {
+            return BTreeSet::new();
+        };
+        let mut out = BTreeSet::new();
         for i in 0..t.num_rows().min(sample) {
             let v = c.get(i);
             if !v.is_null() {
@@ -153,8 +157,8 @@ pub fn match_schemas(left: &Table, right: &Table, config: &MatchingConfig) -> Ve
             .then_with(|| x.left.cmp(&y.left))
             .then_with(|| x.right.cmp(&y.right))
     });
-    let mut used_left: HashSet<String> = HashSet::new();
-    let mut used_right: HashSet<String> = HashSet::new();
+    let mut used_left: BTreeSet<String> = BTreeSet::new();
+    let mut used_right: BTreeSet<String> = BTreeSet::new();
     let mut out = Vec::new();
     for c in candidates {
         if used_left.contains(&c.left) || used_right.contains(&c.right) {

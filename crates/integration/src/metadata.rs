@@ -88,7 +88,10 @@ impl MappingMatrix {
 
     /// Expands to the full binary matrix `Mₖ` of shape `c_T × c_Sk`.
     pub fn to_dense(&self) -> DenseMatrix {
-        selection_matrix(&self.cm, self.source_cols).expect("validated on construction")
+        // Entries were range-checked on construction; the zero matrix is
+        // the defensive fallback for the unreachable error branch.
+        selection_matrix(&self.cm, self.source_cols)
+            .unwrap_or_else(|_| DenseMatrix::zeros(self.cm.len(), self.source_cols))
     }
 
     /// Expands to CSR (useful for the sparse ablation path).
@@ -155,7 +158,10 @@ impl IndicatorMatrix {
 
     /// Expands to the full binary matrix `Iₖ` of shape `r_T × r_Sk`.
     pub fn to_dense(&self) -> DenseMatrix {
-        selection_matrix(&self.ci, self.source_rows).expect("validated on construction")
+        // Entries were range-checked on construction; the zero matrix is
+        // the defensive fallback for the unreachable error branch.
+        selection_matrix(&self.ci, self.source_rows)
+            .unwrap_or_else(|_| DenseMatrix::zeros(self.ci.len(), self.source_rows))
     }
 
     /// Expands to CSR.

@@ -217,8 +217,7 @@ impl DenseMatrix {
     /// Returns the transpose as a new matrix.
     pub fn transpose(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
-        self.transpose_into(&mut out)
-            .expect("freshly allocated output has the transposed shape");
+        self.transpose_into_unchecked(&mut out);
         out
     }
 
@@ -235,6 +234,13 @@ impl DenseMatrix {
                 rhs: out.shape(),
             });
         }
+        self.transpose_into_unchecked(out);
+        Ok(())
+    }
+
+    /// [`Self::transpose_into`] without the output-shape validation — for
+    /// internal callers that just allocated `out` with the right shape.
+    fn transpose_into_unchecked(&self, out: &mut DenseMatrix) {
         // Blocked transpose for cache friendliness on large matrices.
         const B: usize = 32;
         for ib in (0..self.rows).step_by(B) {
@@ -248,7 +254,6 @@ impl DenseMatrix {
                 }
             }
         }
-        Ok(())
     }
 
     /// Applies `f` to every element, returning a new matrix.

@@ -337,8 +337,7 @@ impl DenseMatrix {
     /// mirrored.
     pub fn gram(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols(), self.cols());
-        self.gram_into(&mut out)
-            .expect("freshly allocated output has the gram shape");
+        self.gram_into_unchecked(&mut out);
         out
     }
 
@@ -348,8 +347,16 @@ impl DenseMatrix {
     /// # Errors
     /// Shape mismatch of `out`.
     pub fn gram_into(&self, out: &mut DenseMatrix) -> Result<()> {
-        let (r, c) = self.shape();
+        let c = self.cols();
         check_out_shape("gram_into", out, c, c)?;
+        self.gram_into_unchecked(out);
+        Ok(())
+    }
+
+    /// [`Self::gram_into`] without the output-shape validation — for
+    /// internal callers that just allocated `out` with the right shape.
+    fn gram_into_unchecked(&self, out: &mut DenseMatrix) {
+        let (r, c) = self.shape();
         let a = self.as_slice();
         let o = out.as_mut_slice();
         // Work estimate: half the full product thanks to symmetry.
@@ -375,7 +382,6 @@ impl DenseMatrix {
                 o[i * c + j] = o[j * c + i];
             }
         }
-        Ok(())
     }
 }
 

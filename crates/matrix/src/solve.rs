@@ -30,10 +30,14 @@ impl DenseMatrix {
         let mut x = b.clone();
         for col in 0..n {
             // Partial pivot: largest |a[r][col]| for r >= col.
-            let (pivot_row, pivot_val) = (col..n)
+            // `col < n`, so the range is non-empty; an empty fold can only
+            // mean a degenerate system.
+            let Some((pivot_row, pivot_val)) = (col..n)
                 .map(|r| (r, a.get(r, col).abs()))
                 .max_by(|p, q| p.1.total_cmp(&q.1))
-                .expect("non-empty range");
+            else {
+                return Err(MatrixError::Singular);
+            };
             if pivot_val < 1e-12 {
                 return Err(MatrixError::Singular);
             }

@@ -68,7 +68,11 @@ impl CooMatrix {
             if let (Some(&last_c), true) = (indices.last(), indptr.len() == r + 1) {
                 if last_c == c && indices.len() > indptr[r] {
                     // Duplicate coordinate within the same row: accumulate.
-                    *data.last_mut().expect("data parallel to indices") += v;
+                    // `data` stays parallel to `indices`, so `last_mut` is
+                    // always `Some` when `indices.last()` was.
+                    if let Some(last) = data.last_mut() {
+                        *last += v;
+                    }
                     continue;
                 }
             }
@@ -128,7 +132,7 @@ impl CsrMatrix {
                 data.len()
             )));
         }
-        if *indptr.last().expect("indptr non-empty") != indices.len() {
+        if indptr.last().copied() != Some(indices.len()) {
             return Err(MatrixError::InvalidSparseStructure(
                 "last indptr entry must equal nnz".into(),
             ));
@@ -172,7 +176,9 @@ impl CsrMatrix {
         for (i, row) in dense.row_iter().enumerate() {
             for (j, &v) in row.iter().enumerate() {
                 if v != 0.0 {
-                    coo.push(i, j, v).expect("in-bounds by construction");
+                    // Loop indices are bounded by the dense shape, which is
+                    // exactly the COO shape — bypass the bounds check.
+                    coo.entries.push((i, j, v));
                 }
             }
         }
@@ -277,7 +283,9 @@ impl CsrMatrix {
         for i in 0..self.rows {
             let (idx, vals) = self.row(i);
             for (&j, &v) in idx.iter().zip(vals) {
-                coo.push(j, i, v).expect("transposed coords in bounds");
+                // Column indices are validated CSR structure, so the
+                // transposed coordinates are in bounds by construction.
+                coo.entries.push((j, i, v));
             }
         }
         coo.to_csr()

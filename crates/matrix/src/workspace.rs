@@ -74,8 +74,10 @@ impl Workspace {
 
     /// Checks out a zeroed `rows × cols` matrix.
     pub fn take_matrix(&mut self, rows: usize, cols: usize) -> DenseMatrix {
+        // `take` returns exactly rows*cols elements; the fallback is a
+        // defensive fresh allocation, never reached in practice.
         DenseMatrix::from_vec(rows, cols, self.take(rows * cols))
-            .expect("workspace buffer has exactly rows*cols elements")
+            .unwrap_or_else(|_| DenseMatrix::zeros(rows, cols))
     }
 
     /// Returns a matrix's buffer to the pool.

@@ -197,13 +197,15 @@ impl KMeans {
         Ok((0..x.n_rows())
             .map(|i| {
                 let cross_row = cross.row(i);
+                // `k >= 1` whenever centroids exist; 0 is the harmless
+                // default for the unreachable empty case.
                 (0..k)
                     .min_by(|&a, &b| {
                         let da = row_norms[i] - 2.0 * cross_row[a] + centroid_norms[a];
                         let db = row_norms[i] - 2.0 * cross_row[b] + centroid_norms[b];
                         da.total_cmp(&db)
                     })
-                    .expect("k >= 1")
+                    .unwrap_or(0)
             })
             .collect())
     }

@@ -96,7 +96,7 @@ impl Table {
             }
         }
         for (col, value) in self.columns.iter_mut().zip(row) {
-            col.push(value).expect("validated above");
+            col.push(value)?;
         }
         self.num_rows += 1;
         Ok(())
@@ -163,7 +163,7 @@ impl Table {
             .collect::<Result<Vec<_>>>()?;
         for i in 0..self.num_rows {
             for col in &cols {
-                let v = col.get_f64(i).expect("checked numeric above");
+                let v = col.get_f64(i)?;
                 data.push(v.unwrap_or(null_value));
             }
         }

@@ -32,6 +32,8 @@ pub enum ServeError {
     /// The worker executing the request disappeared before responding
     /// (a bug or a poisoned panic — never part of normal operation).
     WorkerLost,
+    /// The OS refused to spawn a server thread at startup.
+    Spawn(std::io::Error),
 }
 
 impl std::fmt::Display for ServeError {
@@ -46,6 +48,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Factorize(e) => write!(f, "kernel failure: {e}"),
             ServeError::Ml(e) => write!(f, "training failure: {e}"),
             ServeError::WorkerLost => f.write_str("worker dropped the request without responding"),
+            ServeError::Spawn(e) => write!(f, "failed to spawn server thread: {e}"),
         }
     }
 }
@@ -56,6 +59,7 @@ impl std::error::Error for ServeError {
             ServeError::Dataset(e) => Some(e),
             ServeError::Factorize(e) => Some(e),
             ServeError::Ml(e) => Some(e),
+            ServeError::Spawn(e) => Some(e),
             _ => None,
         }
     }

@@ -274,7 +274,15 @@ pub struct Server {
 
 impl Server {
     /// Boots the dispatcher and worker threads against `registry`.
-    pub fn start(registry: Arc<DatasetRegistry<FactorizedTable>>, config: ServerConfig) -> Server {
+    ///
+    /// # Errors
+    /// [`ServeError::Spawn`] when the OS refuses to start a thread; any
+    /// workers spawned before the failure observe their channel close
+    /// and exit.
+    pub fn start(
+        registry: Arc<DatasetRegistry<FactorizedTable>>,
+        config: ServerConfig,
+    ) -> Result<Server> {
         let workers = config.workers.max(1);
         let queue_capacity = config.queue_capacity.max(1);
         let max_batch_cols = config.max_batch_cols.max(1);
@@ -302,7 +310,7 @@ impl Server {
                 thread::Builder::new()
                     .name(format!("amalur-serve-worker-{idx}"))
                     .spawn(move || run_worker(idx, per_worker_threads, &rx, &arena, &stats))
-                    .expect("spawn worker thread"),
+                    .map_err(ServeError::Spawn)?,
             );
         }
         drop(work_rx);
@@ -315,10 +323,10 @@ impl Server {
                 .spawn(move || {
                     run_dispatcher(&queue_rx, &work_tx, window, max_batch_cols, workers, &stats)
                 })
-                .expect("spawn dispatcher thread")
+                .map_err(ServeError::Spawn)?
         };
 
-        Server {
+        Ok(Server {
             handle: ServerHandle {
                 inner: Arc::new(Inner {
                     registry,
@@ -331,7 +339,7 @@ impl Server {
             },
             dispatcher: Some(dispatcher),
             workers: worker_handles,
-        }
+        })
     }
 
     /// A cloneable client handle.
@@ -493,27 +501,33 @@ fn execute_train(job: TrainJob, ws: &mut Workspace) {
 /// so steady-state batches allocate nothing fresh; only the response
 /// matrices handed to clients are freshly allocated.
 fn execute_predict_batch(jobs: Vec<PredictJob>, ws: &mut Workspace) {
-    let table = &jobs[0].table;
-    let (r_t, c_t) = table.target_shape();
     let batched_with = jobs.len();
 
-    if batched_with == 1 {
-        let job = &jobs[0];
-        let k = job.features.cols();
-        let mut out = ws.take_matrix(r_t, k);
-        let result = table
-            .lmm_into(&job.features, &mut out, ws)
-            .map(|()| PredictResponse {
-                dataset: job.dataset.clone(),
-                version: job.version,
-                predictions: out.clone(),
-                batched_with,
-            })
-            .map_err(ServeError::from);
-        ws.give_matrix(out);
-        let _ = jobs.into_iter().next().expect("one job").reply.send(result);
+    if batched_with <= 1 {
+        // The dispatcher never sends an empty batch; an empty Vec simply
+        // has no requester to answer.
+        if let Some(job) = jobs.into_iter().next() {
+            let (r_t, _) = job.table.target_shape();
+            let k = job.features.cols();
+            let mut out = ws.take_matrix(r_t, k);
+            let result = job
+                .table
+                .lmm_into(&job.features, &mut out, ws)
+                .map(|()| PredictResponse {
+                    dataset: job.dataset.clone(),
+                    version: job.version,
+                    predictions: out.clone(),
+                    batched_with,
+                })
+                .map_err(ServeError::from);
+            ws.give_matrix(out);
+            let _ = job.reply.send(result);
+        }
         return;
     }
+
+    let table = &jobs[0].table;
+    let (r_t, c_t) = table.target_shape();
 
     let total_cols: usize = jobs.iter().map(|j| j.features.cols()).sum();
     let mut rhs = ws.take_matrix(c_t, total_cols);

@@ -52,7 +52,8 @@ fn batched_predictions_are_bit_identical_to_unbatched() {
             max_batch_cols: 1,
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("server starts");
     let solo_handle = solo.handle();
     let solo_answers: Vec<DenseMatrix> = (0..n_requests)
         .map(|i| {
@@ -79,7 +80,8 @@ fn batched_predictions_are_bit_identical_to_unbatched() {
             batch_window: Duration::from_millis(50),
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("server starts");
     let handle = batched.handle();
     let tickets: Vec<_> = (0..n_requests)
         .map(|i| {
@@ -130,7 +132,8 @@ fn full_queue_rejects_with_typed_overloaded() {
             max_batch_cols: 1,
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("server starts");
     let handle = server.handle();
 
     // Occupy the only worker with a long training job...
@@ -185,7 +188,8 @@ fn shutdown_drains_admitted_requests_then_rejects_new_ones() {
             batch_window: Duration::from_millis(5),
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("server starts");
     let handle = server.handle();
     let tickets: Vec<_> = (0..12)
         .map(|i| {
@@ -225,7 +229,8 @@ fn steady_state_serving_is_workspace_allocation_free() {
             batch_window: Duration::from_micros(50),
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("server starts");
     let handle = server.handle();
     let send_round = |round: u64| {
         let tickets: Vec<_> = (0..4)
@@ -263,7 +268,8 @@ fn steady_state_serving_is_workspace_allocation_free() {
 fn unknown_dataset_and_bad_shapes_fail_at_admission() {
     let registry = registry_with("ds", 19);
     let c_t = registry.fetch("ds").unwrap().data.target_shape().1;
-    let server = Server::start(Arc::clone(&registry), ServerConfig::default());
+    let server =
+        Server::start(Arc::clone(&registry), ServerConfig::default()).expect("server starts");
     let handle = server.handle();
     assert!(matches!(
         handle.predict(PredictRequest {
@@ -306,7 +312,8 @@ fn concurrent_train_and_predict_traffic_stays_deterministic() {
             batch_window: Duration::from_micros(100),
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("server starts");
     let handle = server.handle();
     let labels = DenseMatrix::from_vec(r_t, 1, (0..r_t).map(|i| (i % 7) as f64).collect()).unwrap();
     let config = LinRegConfig {
@@ -372,7 +379,8 @@ fn concurrent_train_and_predict_traffic_stays_deterministic() {
 fn version_pinning_serves_the_pinned_snapshot() {
     let registry = registry_with("ds", 29);
     let c_t = registry.fetch("ds").unwrap().data.target_shape().1;
-    let server = Server::start(Arc::clone(&registry), ServerConfig::default());
+    let server =
+        Server::start(Arc::clone(&registry), ServerConfig::default()).expect("server starts");
     let handle = server.handle();
     let x = feature_col(c_t, 3);
     let v1_resp = handle
