@@ -14,6 +14,15 @@ pub struct AuditConfig {
     /// though their prologue may (rule `no-alloc-in-into` treats
     /// `*_into` suffixed functions as fully alloc-free instead).
     pub no_alloc_functions: Vec<String>,
+    /// Metric-recording function names held to the strictest tier:
+    /// alloc-free *everywhere*, like `_into` functions. This is the
+    /// static guarantee that makes calling them legal inside `_into`
+    /// bodies and the serving steady state.
+    pub record_fns: Vec<String>,
+    /// Path prefixes where `record_fns` is enforced — scoping it to the
+    /// metrics crate keeps unrelated functions that happen to share a
+    /// short name (`add`, `inc`) out of the rule.
+    pub record_paths: Vec<String>,
     /// Substring patterns of paths exempt from the library-code rules
     /// (`no-alloc-in-into`, `typed-errors`): tests, benches, examples,
     /// binaries.
@@ -58,6 +67,8 @@ impl AuditConfig {
                 .unwrap_or_default()
         };
         config.no_alloc_functions = list("no_alloc", "functions");
+        config.record_fns = list("no_alloc", "record_fns");
+        config.record_paths = list("no_alloc", "record_paths");
         config.exempt_paths = list("exempt", "paths");
         config.determinism_paths = list("determinism", "paths");
         config.bounded_channel_paths = list("bounded_channels", "paths");
@@ -92,6 +103,13 @@ impl AuditConfig {
         self.exempt_paths
             .iter()
             .any(|p| rel_path.contains(p.as_str()))
+    }
+
+    /// Whether `rel_path` is covered by the `record_fns` contract.
+    pub fn is_record_path(&self, rel_path: &str) -> bool {
+        self.record_paths
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
     }
 
     /// Whether `rel_path` falls under the determinism contract.
@@ -221,6 +239,8 @@ mod tests {
 # top comment
 [no_alloc]
 functions = ["fit_with_workspace"]
+record_fns = ["record", "inc"]
+record_paths = ["crates/obs/src"]
 
 [exempt]
 paths = [
@@ -241,6 +261,9 @@ typed_errors = [
     fn parses_sections_arrays_and_allows() {
         let config = AuditConfig::parse(SAMPLE).unwrap();
         assert_eq!(config.no_alloc_functions, vec!["fit_with_workspace"]);
+        assert_eq!(config.record_fns, vec!["record", "inc"]);
+        assert!(config.is_record_path("crates/obs/src/metric.rs"));
+        assert!(!config.is_record_path("crates/ml/src/linreg.rs"));
         assert_eq!(config.exempt_paths, vec!["tests/", "benches/"]);
         assert!(config.is_exempt("crates/ml/tests/foo.rs"));
         assert!(!config.is_exempt("crates/ml/src/foo.rs"));

@@ -147,7 +147,10 @@ pub fn scan_file(rel_path: &str, src: &str, config: &AuditConfig) -> Vec<Diagnos
 /// Rule 1: functions ending in `_into` write into caller-provided
 /// buffers and must not allocate anywhere; configured hot-loop functions
 /// (`no_alloc.functions`) may allocate in their prologue but not inside
-/// loops.
+/// loops. Configured metric-record functions (`no_alloc.record_fns`,
+/// scoped to `no_alloc.record_paths`) get the strict `_into` treatment:
+/// they are what makes instrumentation legal inside `_into` bodies, so
+/// they must never allocate themselves.
 fn check_no_alloc(
     rel_path: &str,
     src: &str,
@@ -161,8 +164,11 @@ fn check_no_alloc(
             continue;
         }
         let into_fn = function.name.ends_with("_into");
+        let record_fn =
+            config.is_record_path(rel_path) && config.record_fns.contains(&function.name);
+        let strict = into_fn || record_fn;
         let hot_fn = config.no_alloc_functions.contains(&function.name);
-        if !into_fn && !hot_fn {
+        if !strict && !hot_fn {
             continue;
         }
         for &pattern in ALLOC_PATTERNS {
@@ -171,12 +177,14 @@ fn check_no_alloc(
                     continue;
                 }
                 // Hot functions are only alloc-free inside their loops.
-                if !into_fn && !in_regions(&function.loops, pos) {
+                if !strict && !in_regions(&function.loops, pos) {
                     continue;
                 }
                 let (line, col) = line_col(src, pos);
                 let place = if into_fn {
                     "zero-allocation `_into` function"
+                } else if record_fn {
+                    "lock-free metric record function"
                 } else {
                     "loop of a configured no-alloc function"
                 };
@@ -301,6 +309,8 @@ mod tests {
             r#"
 [no_alloc]
 functions = ["fit_with_workspace"]
+record_fns = ["record", "inc"]
+record_paths = ["crates/obs/src"]
 [exempt]
 paths = ["tests/", "benches/"]
 [determinism]
@@ -334,6 +344,28 @@ paths = ["crates/serve/src"]
             .collect();
         assert_eq!(allocs.len(), 1, "prologue alloc allowed, loop alloc not");
         assert_eq!(allocs[0].line, 4);
+    }
+
+    #[test]
+    fn record_fns_are_strict_inside_record_paths_only() {
+        let src = "fn record(&self, v: u64) {\n    let spill = v.to_le_bytes().to_vec();\n}\n";
+        let in_obs = scan_file("crates/obs/src/metric.rs", src, &config());
+        assert_eq!(in_obs.len(), 1);
+        assert_eq!(in_obs[0].rule, RuleId::NoAllocInInto);
+        assert!(in_obs[0].message.contains("metric record function"));
+        // A `record` elsewhere is someone else's function; out of scope.
+        assert!(scan_file("crates/ml/src/x.rs", src, &config()).is_empty());
+        // An alloc-free record function is the contract being checked.
+        let clean = "fn inc(&self) {\n    self.n.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(scan_file("crates/obs/src/metric.rs", clean, &config()).is_empty());
+    }
+
+    #[test]
+    fn record_calls_are_legal_inside_into_functions() {
+        // The point of the record-fn tier: instrumentation calls are not
+        // allocation patterns, so `_into` bodies may carry them.
+        let src = "fn gemm_into(out: &mut M) {\n    DISPATCHES.inc();\n    LAT.record(7);\n    out.set(0, 0.0);\n}\n";
+        assert!(scan_file("crates/matrix/src/gemm.rs", src, &config()).is_empty());
     }
 
     #[test]

@@ -14,6 +14,8 @@ use std::path::Path;
 const FIXTURE_CONFIG: &str = r#"
 [no_alloc]
 functions = ["fit_with_workspace"]
+record_fns = ["record", "inc"]
+record_paths = ["crates/obs/src"]
 
 [exempt]
 paths = ["tests/", "benches/", "examples/", "src/bin/"]
@@ -54,6 +56,19 @@ fn no_alloc_rule_flags_exact_lines() {
     for d in &diags {
         assert_eq!(d.path, "crates/matrix/src/fixture.rs");
     }
+}
+
+#[test]
+fn record_fns_fixture_flags_exact_lines() {
+    let src = include_str!("fixtures/record_fns.rs");
+    // Inside the record paths, `record`'s `.to_vec()` on line 5 breaks
+    // the alloc-free contract; the clean `inc` and the `_into` function
+    // that *calls* record fns stay silent.
+    let diags = amalur_audit::scan_file("crates/obs/src/fixture.rs", src, &config());
+    assert_eq!(lines_and_rules(&diags), vec![(5, "no-alloc-in-into")]);
+    // Outside the record paths, `record`/`inc` are ordinary functions.
+    let elsewhere = amalur_audit::scan_file("crates/ml/src/fixture.rs", src, &config());
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
 }
 
 #[test]

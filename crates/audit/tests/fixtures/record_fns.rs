@@ -1,0 +1,17 @@
+//! Fixture: the `record_fns` tier of rule `no-alloc-in-into`. Never
+//! compiled — read by tests.
+
+pub fn record(&self, v: u64) {
+    let spill = v.to_le_bytes().to_vec();
+    drop(spill);
+}
+
+pub fn inc(&self) {
+    self.shards[0].fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn lmm_into(out: &mut [f64]) {
+    LATENCY.record(out.len() as u64);
+    DISPATCHES.inc();
+    out[0] = 1.0;
+}

@@ -14,6 +14,7 @@
 use amalur_federated::hfl::{train_fedavg_with_transport, PartySamples};
 use amalur_federated::{FaultPlan, FaultyTransport, HflConfig};
 use amalur_matrix::DenseMatrix;
+use amalur_obs::MetricsRegistry;
 use rand::{Rng, SeedableRng};
 
 const SEED: u64 = 0xFED5;
@@ -59,6 +60,10 @@ struct Cell {
     rounds_degraded: usize,
     rounds_skipped: usize,
     quorum_lost: bool,
+    /// `amalur-obs/v1` registry dump, populated for the acceptance cell
+    /// only, so the federated bench and the serving bench emit the same
+    /// metrics format.
+    metrics_json: Option<String>,
 }
 
 /// First round whose loss is within 1% of the fault-free final loss.
@@ -71,6 +76,15 @@ fn run_cell(parties: &[PartySamples], drop: f64, straggler: f64, clean_final: f6
     match train_fedavg_with_transport(parties, &config(), &mut t) {
         Ok(r) => {
             let final_loss = r.loss_history.last().copied().unwrap_or(f64::NAN);
+            // The acceptance cell doubles as the metrics-format probe:
+            // bridge CommStats + the virtual-time round histogram into
+            // a registry and embed its dump.
+            let metrics_json =
+                ((drop - 0.2).abs() < 1e-9 && (straggler - 0.1).abs() < 1e-9).then(|| {
+                    let reg = MetricsRegistry::new();
+                    r.to_metrics(&reg);
+                    reg.snapshot().to_json(2)
+                });
             Cell {
                 drop,
                 straggler,
@@ -82,6 +96,7 @@ fn run_cell(parties: &[PartySamples], drop: f64, straggler: f64, clean_final: f6
                 rounds_degraded: r.comm.rounds_degraded,
                 rounds_skipped: r.comm.rounds_skipped,
                 quorum_lost: false,
+                metrics_json,
             }
         }
         Err(e) => {
@@ -97,6 +112,7 @@ fn run_cell(parties: &[PartySamples], drop: f64, straggler: f64, clean_final: f6
                 rounds_degraded: 0,
                 rounds_skipped: 0,
                 quorum_lost: true,
+                metrics_json: None,
             }
         }
     }
@@ -186,7 +202,12 @@ fn main() {
             if i + 1 < cells.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    match cells.iter().find_map(|c| c.metrics_json.as_ref()) {
+        Some(m) => json.push_str(&format!("  \"metrics\": {m}\n")),
+        None => json.push_str("  \"metrics\": null\n"),
+    }
+    json.push_str("}\n");
     std::fs::write("BENCH_federated.json", &json).expect("writable working directory");
     println!("wrote BENCH_federated.json");
 

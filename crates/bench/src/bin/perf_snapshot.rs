@@ -8,7 +8,9 @@
 //! plus the steady-state allocation count of the workspace-backed
 //! training loop. Also re-fits the cost model's `HardwareProfile`
 //! (written to `COST_PROFILE.json` and echoed into the snapshot) so the
-//! factorize-vs-materialize crossover tracks every kernel change. Run
+//! factorize-vs-materialize crossover tracks every kernel change. The
+//! kernel-layer dispatch counters and calibration-probe histograms are
+//! embedded as an `amalur-obs/v1` registry dump under `"metrics"`. Run
 //! with `--release`; the perf trajectory is tracked across PRs by
 //! committing the refreshed JSON.
 
@@ -17,6 +19,7 @@ use amalur_cost::{calibrate, CalibrationConfig, COST_PROFILE_FILE};
 use amalur_factorize::Strategy;
 use amalur_matrix::{kernel_blocking, kernel_threads, DenseMatrix, Workspace};
 use amalur_ml::{LinRegConfig, LinearRegression};
+use amalur_obs::MetricsRegistry;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::path::Path;
@@ -62,6 +65,12 @@ fn main() {
     if cfg!(debug_assertions) {
         eprintln!("warning: perf_snapshot built without --release; numbers are meaningless");
     }
+    // Mount the kernel-layer statics up front so every dispatch below
+    // lands in the snapshot embedded at the end.
+    let registry = MetricsRegistry::new();
+    amalur_matrix::mount_metrics(&registry);
+    amalur_factorize::mount_metrics(&registry);
+    amalur_cost::mount_metrics(&registry);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
 
     // --- dense kernels at 512×512×512 -----------------------------------
@@ -171,7 +180,11 @@ fn main() {
         hp.flop_cost, hp.traffic_cost, hp.correction_cost, hp.assembly_cost, hp.dispatch_cost, report.rms_rel_err
     ));
     json.push_str(&format!(
-        "  \"linreg_steady_state_fresh_allocations\": {steady_state_allocs}\n"
+        "  \"linreg_steady_state_fresh_allocations\": {steady_state_allocs},\n"
+    ));
+    json.push_str(&format!(
+        "  \"metrics\": {}\n",
+        registry.snapshot().to_json(2)
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_kernels.json", &json).expect("writable working directory");

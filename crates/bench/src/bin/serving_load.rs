@@ -18,6 +18,14 @@
 //! * p99 predict latency blows past a deliberately generous floor —
 //!   a smoke detector for pathological queueing, not a perf target.
 //!
+//! Independently of `--quick`, the client-side percentiles are
+//! cross-checked against the server's own `serve.predict.latency_us`
+//! histogram (from [`ServerHandle::metrics`]): both views time the same
+//! requests, so they must agree within the histogram's bucket
+//! resolution plus client-side submit/wake-up overhead. Divergence
+//! means the metrics layer is lying and fails the bench. The full
+//! registry dump is embedded in `BENCH_serving.json` under `"metrics"`.
+//!
 //! Run with: `cargo run --release -p amalur-bench --bin serving_load`
 //! (`--quick` for the CI smoke; `--clients N`, `--requests N`,
 //! `--workers N` to reshape the fleet).
@@ -27,7 +35,10 @@ use amalur_data::{generate_two_source, TwoSourceSpec};
 use amalur_factorize::FactorizedTable;
 use amalur_matrix::{DenseMatrix, Workspace};
 use amalur_ml::LinRegConfig;
-use amalur_serve::{PredictRequest, Server, ServerConfig, ServerHandle, TrainRequest};
+use amalur_obs::Histogram;
+use amalur_serve::{
+    HistogramSnapshot, PredictRequest, Server, ServerConfig, ServerHandle, TrainRequest,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -142,6 +153,45 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Client-side wall clocks start before `submit` and stop after the
+/// ticket wake-up; the server histogram times admission→reply. The gap
+/// is submit bookkeeping plus thread wake-up latency, bounded here.
+const CROSS_CHECK_SLOP_US: f64 = 500.0;
+
+/// Checks that client-observed percentiles agree with the server's
+/// `serve.predict.latency_us` histogram. Both sides saw exactly the
+/// same requests, so each client percentile must land inside the
+/// server's bucket-resolution quantile band, widened by one extra
+/// [`Histogram::RESOLUTION`] factor per side (the client sample and
+/// the bucket edges quantize independently) plus absolute slop for
+/// the submit/wake-up overhead only the client measures.
+fn percentile_divergences(client_sorted: &[u64], server: &HistogramSnapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    if server.count() != client_sorted.len() as u64 {
+        out.push(format!(
+            "server histogram holds {} samples, clients measured {}",
+            server.count(),
+            client_sorted.len()
+        ));
+        return out;
+    }
+    let res = Histogram::RESOLUTION;
+    for (p, name) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+        let client = percentile(client_sorted, p) as f64;
+        let hi = server.quantile(p) as f64 * res * res + CROSS_CHECK_SLOP_US;
+        let lo = (server.quantile_lower(p) as f64 / (res * res) - CROSS_CHECK_SLOP_US).max(0.0);
+        if client < lo || client > hi {
+            out.push(format!(
+                "{name}: client {client:.0}µs outside server band [{lo:.0}, {hi:.0}]µs \
+                 (server bucket [{}, {}]µs)",
+                server.quantile_lower(p),
+                server.quantile(p)
+            ));
+        }
+    }
+    out
+}
+
 /// Re-submits a handful of concurrent predicts and checks every answer
 /// bit-for-bit against a locally computed single-column `lmm_into` —
 /// whatever the dispatcher coalesced, the bits must not move.
@@ -252,8 +302,17 @@ fn main() {
     let p99 = percentile(&latencies, 0.99);
     let throughput = total_requests as f64 / elapsed.as_secs_f64();
 
+    // Cross-check before the equivalence probes add more samples to the
+    // server histogram: at this point both views cover the same set.
+    let fleet_snapshot = handle.metrics();
+    let divergences = match fleet_snapshot.histogram("serve.predict.latency_us") {
+        Some(h) => percentile_divergences(&latencies, h),
+        None => vec!["serve.predict.latency_us missing from server metrics".into()],
+    };
+
     let (equiv_ok, equiv_coalesced) = check_batched_equivalence(&handle, &table, "bench-main");
     let stats = handle.stats();
+    let metrics = handle.metrics();
     server.shutdown();
 
     let mean_batch = if stats.predict_batches > 0 {
@@ -295,14 +354,27 @@ fn main() {
         stats.predict_batches, stats.coalesced_predicts
     ));
     json.push_str(&format!(
-        "  \"trains_done\": {},\n  \"batched_equivalence_ok\": {equiv_ok}\n}}\n",
+        "  \"trains_done\": {},\n  \"batched_equivalence_ok\": {equiv_ok},\n",
         stats.trains_done
     ));
+    json.push_str(&format!(
+        "  \"percentile_cross_check_ok\": {},\n",
+        divergences.is_empty()
+    ));
+    json.push_str(&format!("  \"metrics\": {}\n}}\n", metrics.to_json(2)));
     std::fs::write("BENCH_serving.json", &json).expect("writable working directory");
     println!("wrote BENCH_serving.json");
 
+    // The metrics layer lying about latency is a bug at any fleet size,
+    // so the cross-check gates full runs too, not just --quick.
+    let mut failures = Vec::new();
+    for d in &divergences {
+        failures.push(format!("client/server percentile divergence: {d}"));
+    }
+    if failures.is_empty() {
+        println!("  client/server percentile cross-check: ok");
+    }
     if args.quick {
-        let mut failures = Vec::new();
         if rejected > 0 || stats.rejected > 0 {
             failures.push(format!(
                 "{} requests rejected under nominal load",
@@ -318,13 +390,15 @@ fn main() {
                 QUICK_P99_CEILING.as_millis()
             ));
         }
-        if !failures.is_empty() {
-            eprintln!("serving_load --quick FAILED:");
-            for f in &failures {
-                eprintln!("  - {f}");
-            }
-            std::process::exit(1);
+    }
+    if !failures.is_empty() {
+        eprintln!("serving_load FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
         }
+        std::process::exit(1);
+    }
+    if args.quick {
         println!("serving_load --quick: all gates passed");
     }
 }

@@ -338,32 +338,47 @@ fn probe_table(
     // Operand shapes are fixed by construction above; the 1×1 zero
     // fallback keeps the timed closures infallible without panicking on
     // a violated invariant.
-    let fact_ns = min_time_ns(config, fact_counts.total_units(), || {
-        let pred = ft
-            .lmm(&theta, Strategy::Compressed)
-            .unwrap_or_else(|_| DenseMatrix::zeros(1, 1));
-        let grad = ft
-            .lmm_transpose(&resid, Strategy::Compressed)
-            .unwrap_or_else(|_| DenseMatrix::zeros(1, 1));
-        black_box(pred.get(0, 0) + grad.get(0, 0));
-    });
+    let fact_ns = min_time_ns(
+        config,
+        &crate::metrics::FACT_EPOCH_NS,
+        fact_counts.total_units(),
+        || {
+            let pred = ft
+                .lmm(&theta, Strategy::Compressed)
+                .unwrap_or_else(|_| DenseMatrix::zeros(1, 1));
+            let grad = ft
+                .lmm_transpose(&resid, Strategy::Compressed)
+                .unwrap_or_else(|_| DenseMatrix::zeros(1, 1));
+            black_box(pred.get(0, 0) + grad.get(0, 0));
+        },
+    );
 
     let assembly_counts = ft.materialize_op_counts();
-    let assembly_ns = min_time_ns(config, assembly_counts.total_units(), || {
-        black_box(ft.materialize().get(0, 0));
-    });
+    let assembly_ns = min_time_ns(
+        config,
+        &crate::metrics::ASSEMBLY_NS,
+        assembly_counts.total_units(),
+        || {
+            black_box(ft.materialize().get(0, 0));
+        },
+    );
 
     let t = ft.materialize();
     let mat_counts = ft.materialized_epoch_op_counts(n);
-    let mat_ns = min_time_ns(config, mat_counts.total_units(), || {
-        let pred = t
-            .matmul(&theta)
-            .unwrap_or_else(|_| DenseMatrix::zeros(1, 1));
-        let grad = t
-            .transpose_matmul(&resid)
-            .unwrap_or_else(|_| DenseMatrix::zeros(1, 1));
-        black_box(pred.get(0, 0) + grad.get(0, 0));
-    });
+    let mat_ns = min_time_ns(
+        config,
+        &crate::metrics::MAT_EPOCH_NS,
+        mat_counts.total_units(),
+        || {
+            let pred = t
+                .matmul(&theta)
+                .unwrap_or_else(|_| DenseMatrix::zeros(1, 1));
+            let grad = t
+                .transpose_matmul(&resid)
+                .unwrap_or_else(|_| DenseMatrix::zeros(1, 1));
+            black_box(pred.get(0, 0) + grad.get(0, 0));
+        },
+    );
 
     vec![
         Probe {
@@ -386,8 +401,15 @@ fn probe_table(
 
 /// Oracle-style timing: one warm-up run, then the minimum ns-per-call
 /// over `reps` samples; small operations are looped within a sample so
-/// each sample covers at least `sample_units` of abstract work.
-fn min_time_ns(config: &CalibrationConfig, units: f64, mut f: impl FnMut()) -> f64 {
+/// each sample covers at least `sample_units` of abstract work. Each
+/// sample also lands in `hist`, preserving the spread that the min
+/// estimator collapses.
+fn min_time_ns(
+    config: &CalibrationConfig,
+    hist: &amalur_obs::Histogram,
+    units: f64,
+    mut f: impl FnMut(),
+) -> f64 {
     let inner = ((config.sample_units / units.max(1.0)).ceil() as usize).clamp(1, 256);
     f(); // warm-up: page in buffers, warm caches
     let mut best = f64::INFINITY;
@@ -397,6 +419,7 @@ fn min_time_ns(config: &CalibrationConfig, units: f64, mut f: impl FnMut()) -> f
             f();
         }
         let ns = start.elapsed().as_secs_f64() * 1e9 / inner as f64;
+        hist.record(ns as u64);
         best = best.min(ns);
     }
     best

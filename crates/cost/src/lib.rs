@@ -30,6 +30,7 @@
 
 pub mod calibrate;
 mod features;
+pub mod metrics;
 mod model;
 pub mod oracle;
 
@@ -38,5 +39,6 @@ pub use calibrate::{
     ProfileSource, COST_PROFILE_FILE,
 };
 pub use features::{CostFeatures, SourceFeatures};
+pub use metrics::mount_metrics;
 pub use model::{AmalurCostModel, CostModel, Decision, MorpheusHeuristic, TrainingWorkload};
 pub use oracle::{measure_strategies, measure_strategies_with_reps, Measurement};

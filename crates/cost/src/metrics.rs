@@ -1,0 +1,64 @@
+//! Calibration observability: per-sample probe timings as histograms.
+//!
+//! Each calibration rep contributes one sample (ns per call) to the
+//! histogram of its probe family, so a registry dump shows the spread
+//! the min-of-reps estimator collapsed — useful for judging whether a
+//! calibration ran on a noisy machine. Same `static` + mount pattern
+//! as the kernel layers.
+
+use amalur_obs::{Histogram, MetricsRegistry};
+
+/// Per-sample timings of the factorized-epoch probes (ns per call).
+pub(crate) static FACT_EPOCH_NS: Histogram = Histogram::new();
+
+/// Per-sample timings of the assembly (materialization) probes.
+pub(crate) static ASSEMBLY_NS: Histogram = Histogram::new();
+
+/// Per-sample timings of the materialized-epoch probes.
+pub(crate) static MAT_EPOCH_NS: Histogram = Histogram::new();
+
+/// Mounts the calibration histograms into `reg` under the
+/// `cost.calibrate.*` names.
+pub fn mount_metrics(reg: &MetricsRegistry) {
+    reg.mount_histogram("cost.calibrate.fact_epoch_ns", &FACT_EPOCH_NS);
+    reg.mount_histogram("cost.calibrate.assembly_ns", &ASSEMBLY_NS);
+    reg.mount_histogram("cost.calibrate.mat_epoch_ns", &MAT_EPOCH_NS);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_probes_feed_the_histograms() {
+        let reg = MetricsRegistry::new();
+        mount_metrics(&reg);
+        let before = reg
+            .snapshot()
+            .histogram("cost.calibrate.fact_epoch_ns")
+            .map_or(0, |h| h.count());
+        let report = crate::calibrate::calibrate(&crate::calibrate::CalibrationConfig {
+            ladder: vec![60],
+            reps: 2,
+            x_cols: 1,
+            sample_units: 1e5,
+        });
+        assert!(!report.probes.is_empty());
+        let snap = reg.snapshot();
+        let fact = snap.histogram("cost.calibrate.fact_epoch_ns").unwrap();
+        // Every rep of every fact_epoch probe recorded one sample.
+        assert!(fact.count() >= before + 2);
+        assert!(
+            snap.histogram("cost.calibrate.assembly_ns")
+                .unwrap()
+                .count()
+                >= 2
+        );
+        assert!(
+            snap.histogram("cost.calibrate.mat_epoch_ns")
+                .unwrap()
+                .count()
+                >= 2
+        );
+    }
+}

@@ -35,12 +35,14 @@
 mod counts;
 mod error;
 mod linops;
+pub mod metrics;
 mod rewrite;
 mod table;
 
 pub use counts::OpCounts;
 pub use error::{FactorizeError, Result};
 pub use linops::LinOps;
+pub use metrics::mount_metrics;
 pub use rewrite::Strategy;
 pub use table::FactorizedTable;
 

@@ -59,6 +59,8 @@ impl FactorizedTable {
                 found: x.shape(),
             });
         }
+        crate::metrics::LMM_CALLS.inc();
+        crate::metrics::record_strategy(strategy);
         match strategy {
             Strategy::Compressed => self.lmm_compressed(x, rows),
             Strategy::Sparse => self.lmm_sparse(x, rows),
@@ -97,6 +99,8 @@ impl FactorizedTable {
                 found: out.shape(),
             });
         }
+        crate::metrics::LMM_CALLS.inc();
+        crate::metrics::record_strategy(Strategy::Compressed);
         self.lmm_compressed_into(x, out, ws)
     }
 
@@ -137,6 +141,8 @@ impl FactorizedTable {
                 found: out.shape(),
             });
         }
+        crate::metrics::LMM_COLSTABLE_CALLS.inc();
+        crate::metrics::record_strategy(Strategy::Compressed);
         self.lmm_compressed_into_impl(x, out, ws, true)
     }
 
@@ -167,6 +173,8 @@ impl FactorizedTable {
                 found: out.shape(),
             });
         }
+        crate::metrics::LMM_TRANSPOSE_CALLS.inc();
+        crate::metrics::record_strategy(Strategy::Compressed);
         self.lmm_t_compressed_into(x, out, ws)
     }
 
@@ -186,6 +194,8 @@ impl FactorizedTable {
                 found: x.shape(),
             });
         }
+        crate::metrics::LMM_TRANSPOSE_CALLS.inc();
+        crate::metrics::record_strategy(strategy);
         match strategy {
             Strategy::Compressed => self.lmm_t_compressed(x, cols),
             Strategy::Sparse => self.lmm_t_sparse(x, cols),

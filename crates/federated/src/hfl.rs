@@ -37,6 +37,7 @@ use crate::transport::{
 use crate::{FederatedError, Result};
 use amalur_crypto::dp::LaplaceMechanism;
 use amalur_matrix::DenseMatrix;
+use amalur_obs::{span, Histogram, HistogramSnapshot, MetricsRegistry, VirtualClock};
 
 /// One silo's local samples (aligned schemas across silos).
 #[derive(Debug, Clone)]
@@ -143,6 +144,63 @@ impl Default for HflConfig {
     }
 }
 
+/// One event on a round's virtual timeline (all times are virtual
+/// milliseconds within the party's round, never wall clock — seeded
+/// runs replay bit-identically, instrumentation included).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundEvent {
+    /// The round the event belongs to.
+    pub round: usize,
+    /// The party involved, or `None` for orchestrator-level events
+    /// (quorum outcomes).
+    pub party: Option<usize>,
+    /// Virtual milliseconds since the party's round started.
+    pub at_ms: u64,
+    /// What happened.
+    pub kind: RoundEventKind,
+}
+
+/// The kinds of [`RoundEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundEventKind {
+    /// The party was inside a crash window; no attempts were made.
+    Crashed,
+    /// A retry attempt started (attempt index ≥ 1).
+    Retry {
+        /// The attempt number (first try is 0, so retries start at 1).
+        attempt: usize,
+    },
+    /// Exponential backoff (with deterministic jitter) before a retry.
+    Backoff {
+        /// Virtual milliseconds waited.
+        wait_ms: u64,
+    },
+    /// The per-round deadline passed (or the retry budget ran out)
+    /// without an accepted reply; the party is missing this round.
+    DeadlineExceeded,
+    /// The party's update was accepted.
+    Responded,
+    /// Every party responded and the round aggregated fully.
+    QuorumFull {
+        /// Parties whose updates were aggregated.
+        responded: usize,
+    },
+    /// Quorum met with partial participation; aggregation reweighted.
+    QuorumDegraded {
+        /// Parties whose updates were aggregated.
+        responded: usize,
+        /// Responders the quorum policy required.
+        needed: usize,
+    },
+    /// Below quorum: the round left the model untouched.
+    QuorumSkipped {
+        /// Parties that did respond.
+        responded: usize,
+        /// Responders the quorum policy required.
+        needed: usize,
+    },
+}
+
 /// The trained global model.
 #[derive(Debug, Clone)]
 pub struct HflResult {
@@ -152,6 +210,29 @@ pub struct HflResult {
     pub loss_history: Vec<f64>,
     /// Communication accounting.
     pub comm: CommStats,
+    /// Per-round timeline: deadlines, retries, backoffs and quorum
+    /// outcomes, in execution order. Observability only — NOT part of a
+    /// [`Checkpoint`], so a resumed run's timeline covers only the
+    /// rounds since the resume (model/loss/comm replay is unaffected).
+    pub timeline: Vec<RoundEvent>,
+    /// Distribution of virtual round durations (µs; a round's duration
+    /// is its slowest party's virtual elapsed time), recorded through a
+    /// [`VirtualClock`]-driven span so seeded runs stay deterministic.
+    /// Same checkpoint caveat as [`Self::timeline`].
+    pub round_us: HistogramSnapshot,
+}
+
+impl HflResult {
+    /// Bridges this run into a metrics registry:
+    /// [`CommStats::to_metrics`] plus the virtual round-duration
+    /// histogram under `federated.round.virtual_us` — so federated
+    /// bench bins emit the same `amalur-obs/v1` dump as the serving
+    /// layer.
+    pub fn to_metrics(&self, reg: &MetricsRegistry) {
+        self.comm.to_metrics(reg);
+        reg.histogram("federated.round.virtual_us")
+            .merge_snapshot(&self.round_us);
+    }
 }
 
 /// What one party did in one round.
@@ -176,6 +257,10 @@ pub struct FedAvgOrchestrator<'a, T: Transport> {
     quorum_failures: usize,
     loss_history: Vec<f64>,
     comm: CommStats,
+    // Observability state; excluded from Checkpoint (see HflResult).
+    timeline: Vec<RoundEvent>,
+    vclock: VirtualClock,
+    round_us: Histogram,
 }
 
 impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
@@ -208,6 +293,9 @@ impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
             quorum_failures: 0,
             loss_history: Vec::with_capacity(config.rounds),
             comm: CommStats::default(),
+            timeline: Vec::new(),
+            vclock: VirtualClock::new(),
+            round_us: Histogram::new(),
         })
     }
 
@@ -258,6 +346,9 @@ impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
             quorum_failures: checkpoint.quorum_failures,
             loss_history: checkpoint.loss_history.clone(),
             comm: checkpoint.comm,
+            timeline: Vec::new(),
+            vclock: VirtualClock::new(),
+            round_us: Histogram::new(),
         })
     }
 
@@ -302,13 +393,46 @@ impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
         }
         self.loss_history.push(loss / (2.0 * total_rows as f64));
 
-        // Collect updates from whoever responds in time.
+        // Collect updates from whoever responds in time. The round's
+        // virtual duration is its slowest party (parties run in
+        // parallel in the modeled deployment).
         let mut responders: Vec<(usize, DenseMatrix)> = Vec::with_capacity(n_parties);
+        let mut round_elapsed_ms: u64 = 0;
         for k in 0..n_parties {
-            if let PartyRoundOutcome::Responded(theta) = self.run_party_round(k)? {
+            let (outcome, elapsed_ms) = self.run_party_round(k)?;
+            round_elapsed_ms = round_elapsed_ms.max(elapsed_ms);
+            if let PartyRoundOutcome::Responded(theta) = outcome {
                 responders.push((k, theta));
             }
         }
+        {
+            // Span over the virtual clock: deterministic for a given
+            // seed + fault schedule, and recorded in the same histogram
+            // vocabulary as the wall-clock serving spans.
+            let _round_span = span(&self.vclock, &self.round_us);
+            self.vclock.advance_ms(round_elapsed_ms);
+        }
+        let quorum_kind = if responders.len() >= n_parties {
+            RoundEventKind::QuorumFull {
+                responded: responders.len(),
+            }
+        } else if responders.len() >= needed {
+            RoundEventKind::QuorumDegraded {
+                responded: responders.len(),
+                needed,
+            }
+        } else {
+            RoundEventKind::QuorumSkipped {
+                responded: responders.len(),
+                needed,
+            }
+        };
+        self.timeline.push(RoundEvent {
+            round: self.round,
+            party: None,
+            at_ms: round_elapsed_ms,
+            kind: quorum_kind,
+        });
 
         if responders.len() < needed {
             self.comm.rounds_skipped += 1;
@@ -347,17 +471,25 @@ impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
             global: self.global,
             loss_history: self.loss_history,
             comm: self.comm,
+            timeline: self.timeline,
+            round_us: self.round_us.snapshot(),
         }
     }
 
     /// One party's full round: broadcast-with-retry, local training,
     /// upload-with-retry, all under the virtual deadline.
-    fn run_party_round(&mut self, k: usize) -> Result<PartyRoundOutcome> {
+    fn run_party_round(&mut self, k: usize) -> Result<(PartyRoundOutcome, u64)> {
         let round = self.round;
         let retry = self.config.retry;
         if !self.transport.available(k, round) {
             self.comm.crash_outages += 1;
-            return Ok(PartyRoundOutcome::Missing);
+            self.timeline.push(RoundEvent {
+                round,
+                party: Some(k),
+                at_ms: 0,
+                kind: RoundEventKind::Crashed,
+            });
+            return Ok((PartyRoundOutcome::Missing, 0));
         }
         let bytes = self.d * 8;
         let rtt = self.transport.rtt_ms();
@@ -365,7 +497,7 @@ impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
         for attempt in 0..retry.max_attempts {
             if attempt > 0 {
                 self.comm.retries += 1;
-                elapsed += backoff_ms(
+                let wait_ms = backoff_ms(
                     retry.backoff_base_ms,
                     retry.backoff_jitter,
                     self.config.seed,
@@ -373,6 +505,19 @@ impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
                     k,
                     attempt,
                 );
+                self.timeline.push(RoundEvent {
+                    round,
+                    party: Some(k),
+                    at_ms: elapsed,
+                    kind: RoundEventKind::Retry { attempt },
+                });
+                self.timeline.push(RoundEvent {
+                    round,
+                    party: Some(k),
+                    at_ms: elapsed,
+                    kind: RoundEventKind::Backoff { wait_ms },
+                });
+                elapsed += wait_ms;
             }
             if elapsed > retry.deadline_ms {
                 break;
@@ -473,9 +618,16 @@ impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
                     }
                     // Accept: tag and integrity both check out.
                     if env.round == round && env.verify() {
-                        return Ok(PartyRoundOutcome::Responded(DenseMatrix::column_vector(
-                            &env.payload,
-                        )));
+                        self.timeline.push(RoundEvent {
+                            round,
+                            party: Some(k),
+                            at_ms: elapsed,
+                            kind: RoundEventKind::Responded,
+                        });
+                        return Ok((
+                            PartyRoundOutcome::Responded(DenseMatrix::column_vector(&env.payload)),
+                            elapsed,
+                        ));
                     }
                     // Unreachable on honest transports; count and retry.
                     self.comm.corrupt_rejected += 1;
@@ -483,7 +635,15 @@ impl<'a, T: Transport> FedAvgOrchestrator<'a, T> {
             }
         }
         self.comm.timeouts += 1;
-        Ok(PartyRoundOutcome::Missing)
+        self.timeline.push(RoundEvent {
+            round,
+            party: Some(k),
+            at_ms: elapsed,
+            kind: RoundEventKind::DeadlineExceeded,
+        });
+        // The party consumed virtual time up to its deadline (or its
+        // last attempt's completion, whichever came first).
+        Ok((PartyRoundOutcome::Missing, elapsed.min(retry.deadline_ms)))
     }
 
     /// The silo-side computation: `local_epochs` GD steps from the
@@ -617,6 +777,66 @@ mod tests {
             });
         }
         (parties, all_x.unwrap(), DenseMatrix::column_vector(&all_y))
+    }
+
+    #[test]
+    fn timeline_is_deterministic_and_exports_to_metrics() {
+        let (parties, _, _) = silos(3, 20, 5);
+        let config = HflConfig {
+            rounds: 8,
+            ..HflConfig::default()
+        };
+        let run = |seed: u64| {
+            let mut t =
+                crate::FaultyTransport::new(crate::FaultPlan::grid(seed, 0.2, 0.1)).unwrap();
+            train_fedavg_with_transport(&parties, &config, &mut t).unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        // Instrumentation is part of the deterministic replay: same
+        // seed + fault schedule → identical timeline and durations.
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.round_us, b.round_us);
+        assert_ne!(a.timeline, run(10).timeline, "seed changes the timeline");
+
+        // Exactly one quorum outcome per round, and the lossy grid
+        // produced at least one retry/backoff pair.
+        let quorums = a
+            .timeline
+            .iter()
+            .filter(|e| {
+                e.party.is_none()
+                    && matches!(
+                        e.kind,
+                        RoundEventKind::QuorumFull { .. }
+                            | RoundEventKind::QuorumDegraded { .. }
+                            | RoundEventKind::QuorumSkipped { .. }
+                    )
+            })
+            .count();
+        assert_eq!(quorums, config.rounds);
+        assert!(a
+            .timeline
+            .iter()
+            .any(|e| matches!(e.kind, RoundEventKind::Retry { .. })));
+        assert_eq!(a.round_us.count(), config.rounds as u64);
+
+        // The registry bridge exposes comm counters and the round
+        // histogram in the shared dump format.
+        let reg = MetricsRegistry::new();
+        a.to_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("federated.comm.retries"),
+            Some(a.comm.retries as u64)
+        );
+        assert_eq!(
+            snap.histogram("federated.round.virtual_us")
+                .unwrap()
+                .count(),
+            config.rounds as u64
+        );
+        assert!(snap.to_json(0).contains("federated.comm.messages"));
     }
 
     /// Centralized GD on the union with the same update rule.

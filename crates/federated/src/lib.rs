@@ -76,7 +76,7 @@ pub use error::{FederatedError, Result};
 pub use faults::{FaultPlan, FaultyTransport};
 pub use hfl::{
     train_fedavg, train_fedavg_with_transport, FedAvgOrchestrator, HflConfig, HflResult,
-    PartySamples, QuorumPolicy, RetryPolicy,
+    PartySamples, QuorumPolicy, RetryPolicy, RoundEvent, RoundEventKind,
 };
 pub use protocol::{CommStats, PrivacyMode};
 pub use transport::{ReliableTransport, Transport};

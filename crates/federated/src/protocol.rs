@@ -106,6 +106,30 @@ impl CommStats {
         self.messages += 1;
     }
 
+    /// Bridges this run's accounting into a metrics registry under the
+    /// `federated.comm.*` names, so federated bench bins emit the same
+    /// `amalur-obs/v1` dump format as the serving layer. Counters are
+    /// get-or-register: bridging several runs into one registry sums
+    /// them.
+    pub fn to_metrics(&self, reg: &amalur_obs::MetricsRegistry) {
+        let add = |name: &str, v: usize| reg.counter(name).add(v as u64);
+        add("federated.comm.bytes_up", self.bytes_up);
+        add("federated.comm.bytes_down", self.bytes_down);
+        add("federated.comm.messages", self.messages);
+        add("federated.comm.retries", self.retries);
+        add("federated.comm.drops", self.drops);
+        add("federated.comm.timeouts", self.timeouts);
+        add("federated.comm.stragglers", self.stragglers);
+        add("federated.comm.duplicates", self.duplicates);
+        add("federated.comm.corrupt_rejected", self.corrupt_rejected);
+        add("federated.comm.stale_rejected", self.stale_rejected);
+        add("federated.comm.crash_outages", self.crash_outages);
+        add("federated.comm.rounds_degraded", self.rounds_degraded);
+        add("federated.comm.rounds_skipped", self.rounds_skipped);
+        reg.counter("federated.comm.crypto_time_us")
+            .add(u64::try_from(self.crypto_time.as_micros()).unwrap_or(u64::MAX));
+    }
+
     /// Records `extra` duplicated deliveries of a `bytes`-sized message.
     pub(crate) fn record_duplicates(
         &mut self,

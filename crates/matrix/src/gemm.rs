@@ -163,6 +163,7 @@ impl DenseMatrix {
         let (m, k) = self.shape();
         let n = rhs.cols();
         check_out_shape("matmul_colstable_into", out, m, n)?;
+        crate::metrics::GEMM_COLSTABLE_DISPATCHES.inc();
         if n == 1 {
             // Already the dot fast path — no scratch needed.
             return self.matmul_into(rhs, out);
@@ -406,6 +407,11 @@ fn gemm_driver(a: Operand<'_>, b: Operand<'_>, out: &mut [f64], m: usize, k: usi
     }
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     let use_packed = n >= NR && flops >= PACK_FLOP_THRESHOLD;
+    if use_packed {
+        crate::metrics::GEMM_PACKED_DISPATCHES.inc();
+    } else {
+        crate::metrics::GEMM_FALLBACK_DISPATCHES.inc();
+    }
     par_row_chunks(out, n, flops, |row0, chunk| {
         chunk.fill(0.0);
         let rows_here = chunk.len() / n;

@@ -57,6 +57,7 @@
 mod dense;
 mod error;
 mod gemm;
+pub mod metrics;
 mod ops;
 mod par;
 mod select;
@@ -67,6 +68,7 @@ mod workspace;
 pub use dense::DenseMatrix;
 pub use error::{MatrixError, Result};
 pub use gemm::{kernel_blocking, kernel_threads, parallel_flop_threshold};
+pub use metrics::mount_metrics;
 pub use par::{
     par_row_chunks, par_row_chunks_with, set_thread_budget, thread_budget, with_thread_budget,
 };

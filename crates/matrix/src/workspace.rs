@@ -30,6 +30,8 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 pub struct Workspace {
     pool: Vec<Vec<f64>>,
     fresh_allocations: usize,
+    outstanding_elems: usize,
+    high_water_elems: usize,
 }
 
 impl Workspace {
@@ -43,6 +45,11 @@ impl Workspace {
     /// Reuses the best-fitting pooled buffer; allocates only when no
     /// pooled buffer has sufficient capacity.
     pub fn take(&mut self, len: usize) -> Vec<f64> {
+        self.outstanding_elems += len;
+        if self.outstanding_elems > self.high_water_elems {
+            self.high_water_elems = self.outstanding_elems;
+            crate::metrics::WORKSPACE_HIGH_WATER_ELEMS.set_max(self.high_water_elems as u64);
+        }
         // Best fit: smallest capacity that still holds `len`.
         let mut best: Option<(usize, usize)> = None; // (index, capacity)
         for (i, buf) in self.pool.iter().enumerate() {
@@ -67,6 +74,8 @@ impl Workspace {
 
     /// Returns a buffer to the pool.
     pub fn give(&mut self, buf: Vec<f64>) {
+        // Saturating: callers may shrink a buffer before returning it.
+        self.outstanding_elems = self.outstanding_elems.saturating_sub(buf.len());
         if buf.capacity() > 0 {
             self.pool.push(buf);
         }
@@ -95,6 +104,14 @@ impl Workspace {
     /// Number of buffers currently checked in.
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Largest number of `f64` elements simultaneously checked out of
+    /// this workspace so far — the scratch footprint high-water mark.
+    /// Also folded (via `set_max`) into the process-wide
+    /// `matrix.workspace.high_water_elems` gauge.
+    pub fn high_water_elems(&self) -> usize {
+        self.high_water_elems
     }
 }
 

@@ -1,0 +1,424 @@
+//! The three metric primitives: counters, gauges, histograms.
+//!
+//! All record paths are allocation-free and lock-free (relaxed atomics
+//! only), so they may run inside `_into` kernels and the serving steady
+//! state. Construction is `const`, so layers without registry plumbing
+//! (the GEMM dispatcher) can declare metrics as `static`s and mount
+//! them into a [`crate::MetricsRegistry`] later.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shards per [`Counter`] (power of two).
+const SHARDS: usize = 8;
+
+/// Number of histogram buckets: values are exact below 4, then
+/// quarter-octave log-spaced up to 2⁴⁰ (≈ 13 days in µs); larger values
+/// clamp into the last bucket.
+pub const BUCKETS: usize = 160;
+
+/// A cache-line-padded atomic, so counter shards on different lines
+/// never false-share.
+#[repr(align(64))]
+#[derive(Debug)]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+}
+
+/// This thread's shard index (assigned once, on first record).
+fn shard() -> usize {
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// A monotone counter, sharded across padded atomics so racing workers
+/// do not serialize on one cache line.
+#[derive(Debug)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter (usable in `static`s).
+    pub const fn new() -> Self {
+        // One atomic per slot; the repeat expression is a fresh value
+        // each time, not a shared one.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: PaddedU64 = PaddedU64::new();
+        Self {
+            shards: [ZERO; SHARDS],
+        }
+    }
+
+    /// Adds one. Allocation-free and lock-free.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Allocation-free and lock-free.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A last-value / high-water gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge (usable in `static`s).
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the value. Allocation-free and lock-free.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger (high-water-mark semantics).
+    /// Allocation-free and lock-free.
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for `v`: exact below 4, then quarter-octave log-spaced
+/// (each octave `[2ᵉ, 2ᵉ⁺¹)` splits into 4 sub-buckets), clamped into
+/// the last bucket.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as usize; // floor(log2 v) ≥ 2
+        let sub = ((v >> (e - 2)) & 3) as usize;
+        (4 * (e - 1) + sub).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `idx` (the smallest value that lands
+/// in it).
+pub(crate) fn bucket_lower(idx: usize) -> u64 {
+    if idx < 4 {
+        idx as u64
+    } else {
+        let e = idx / 4 + 1;
+        let sub = (idx % 4) as u64;
+        (1u64 << e) + sub * (1u64 << (e - 2))
+    }
+}
+
+/// Exclusive upper bound of bucket `idx` (`u64::MAX` for the clamp
+/// bucket).
+pub(crate) fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(idx + 1)
+    }
+}
+
+/// A fixed-bucket, log-spaced histogram of `u64` samples (latencies in
+/// µs, batch widths, byte counts, …).
+///
+/// `record` is two relaxed atomic adds — allocation-free, lock-free,
+/// wait-free. Quantile estimates from a snapshot are exact below 4 and
+/// within one quarter-octave bucket (≤ [`Histogram::RESOLUTION`]×)
+/// above.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Worst-case relative bucket resolution: an estimate read off a
+    /// bucket boundary is at most this factor away from the true
+    /// sample.
+    pub const RESOLUTION: f64 = 1.25;
+
+    /// An empty histogram (usable in `static`s).
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Allocation-free and lock-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Folds a previously taken snapshot into this histogram — the
+    /// export path for histograms collected outside a registry (e.g. a
+    /// federated run's virtual round durations) that should appear in a
+    /// registry dump.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        for (dst, &c) in self.buckets.iter().zip(&snap.buckets) {
+            if c > 0 {
+                dst.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state: quantiles, merging,
+/// serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity element of [`Self::merge`]).
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the largest value that
+    /// could have landed in the bucket holding the `p`-quantile sample
+    /// (exact below 4; within [`Histogram::RESOLUTION`]× above).
+    /// Returns 0 for an empty snapshot.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).saturating_sub(1);
+            }
+        }
+        bucket_upper(BUCKETS - 1).saturating_sub(1)
+    }
+
+    /// Conservative lower bound for the `p`-quantile: the lower edge of
+    /// the bucket holding that sample.
+    pub fn quantile_lower(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower(idx);
+            }
+        }
+        bucket_lower(BUCKETS - 1)
+    }
+
+    /// Accumulates `other` into `self`. Merging is commutative and
+    /// associative (pinned by property tests), so per-shard snapshots
+    /// combine into a fleet-wide view in any order. Totals wrap on
+    /// overflow, matching the live histogram's relaxed `fetch_add`s —
+    /// never a panic in a metrics path.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst = dst.wrapping_add(*src);
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Non-empty buckets as `(inclusive lower bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_shards() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set_max(5);
+        assert_eq!(g.get(), 10);
+        g.set_max(99);
+        assert_eq!(g.get(), 99);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_line() {
+        // Buckets partition [0, ∞): upper(i) == lower(i+1), monotone.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_upper(i), bucket_lower(i + 1), "bucket {i}");
+            assert!(bucket_lower(i) < bucket_lower(i + 1));
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..4u64 {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_lower(idx), v);
+            assert_eq!(bucket_upper(idx), v + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 1100);
+        // p50 sample is 30: the estimate brackets it within a bucket.
+        let est = s.quantile(0.5);
+        assert!(s.quantile_lower(0.5) <= 30 && 30 <= est, "est {est}");
+        assert!(est as f64 <= 30.0 * Histogram::RESOLUTION);
+        // p100 lands in 1000's bucket.
+        assert!(s.quantile_lower(1.0) <= 1000 && 1000 <= s.quantile(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(7);
+        b.record(7);
+        b.record(9000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 7 + 7 + 9000);
+        assert_eq!(m.nonzero_buckets()[0].1, 2);
+    }
+}

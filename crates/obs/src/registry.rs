@@ -1,0 +1,328 @@
+//! The named metric directory and its deterministic snapshot/dump.
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A handle to a registered metric: either registry-owned (`Arc`) or a
+/// mounted `'static` (the kernel layers declare `static` metrics and
+/// mount them, so recording needs no registry plumbing at all).
+#[derive(Debug)]
+pub struct MetricHandle<T: 'static> {
+    repr: Repr<T>,
+}
+
+#[derive(Debug)]
+enum Repr<T: 'static> {
+    Owned(Arc<T>),
+    Static(&'static T),
+}
+
+impl<T> Clone for MetricHandle<T> {
+    fn clone(&self) -> Self {
+        Self {
+            repr: match &self.repr {
+                Repr::Owned(a) => Repr::Owned(Arc::clone(a)),
+                Repr::Static(s) => Repr::Static(s),
+            },
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MetricHandle<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.repr {
+            Repr::Owned(a) => a,
+            Repr::Static(s) => s,
+        }
+    }
+}
+
+impl<T> MetricHandle<T> {
+    fn owned(v: T) -> Self {
+        Self {
+            repr: Repr::Owned(Arc::new(v)),
+        }
+    }
+
+    fn of_static(v: &'static T) -> Self {
+        Self {
+            repr: Repr::Static(v),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(MetricHandle<Counter>),
+    Gauge(MetricHandle<Gauge>),
+    Histogram(MetricHandle<Histogram>),
+}
+
+/// A directory of named metrics (see the crate docs for the naming
+/// scheme).
+///
+/// Registration (`counter`/`gauge`/`histogram`/`mount_*`) takes a lock
+/// and may allocate; hot paths therefore register once and keep the
+/// returned handle. Recording through a handle never touches the
+/// registry. Asking for an existing name returns the existing metric;
+/// asking with a *mismatched kind* returns a fresh detached handle
+/// (recordable but never dumped) so the record path stays infallible.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Slot>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Gets or registers the counter `name`.
+    pub fn counter(&self, name: &str) -> MetricHandle<Counter> {
+        let mut map = self.lock();
+        match map.get(name) {
+            Some(Slot::Counter(h)) => h.clone(),
+            Some(_) => MetricHandle::owned(Counter::new()),
+            None => {
+                let h = MetricHandle::owned(Counter::new());
+                map.insert(name.to_owned(), Slot::Counter(h.clone()));
+                h
+            }
+        }
+    }
+
+    /// Gets or registers the gauge `name`.
+    pub fn gauge(&self, name: &str) -> MetricHandle<Gauge> {
+        let mut map = self.lock();
+        match map.get(name) {
+            Some(Slot::Gauge(h)) => h.clone(),
+            Some(_) => MetricHandle::owned(Gauge::new()),
+            None => {
+                let h = MetricHandle::owned(Gauge::new());
+                map.insert(name.to_owned(), Slot::Gauge(h.clone()));
+                h
+            }
+        }
+    }
+
+    /// Gets or registers the histogram `name`.
+    pub fn histogram(&self, name: &str) -> MetricHandle<Histogram> {
+        let mut map = self.lock();
+        match map.get(name) {
+            Some(Slot::Histogram(h)) => h.clone(),
+            Some(_) => MetricHandle::owned(Histogram::new()),
+            None => {
+                let h = MetricHandle::owned(Histogram::new());
+                map.insert(name.to_owned(), Slot::Histogram(h.clone()));
+                h
+            }
+        }
+    }
+
+    /// Mounts a `static` counter under `name` (first registration wins).
+    pub fn mount_counter(&self, name: &str, c: &'static Counter) {
+        self.lock()
+            .entry(name.to_owned())
+            .or_insert(Slot::Counter(MetricHandle::of_static(c)));
+    }
+
+    /// Mounts a `static` gauge under `name` (first registration wins).
+    pub fn mount_gauge(&self, name: &str, g: &'static Gauge) {
+        self.lock()
+            .entry(name.to_owned())
+            .or_insert(Slot::Gauge(MetricHandle::of_static(g)));
+    }
+
+    /// Mounts a `static` histogram under `name` (first registration
+    /// wins).
+    pub fn mount_histogram(&self, name: &str, h: &'static Histogram) {
+        self.lock()
+            .entry(name.to_owned())
+            .or_insert(Slot::Histogram(MetricHandle::of_static(h)));
+    }
+
+    /// A point-in-time copy of every registered metric, in name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, slot) in map.iter() {
+            match slot {
+                Slot::Counter(h) => {
+                    snap.counters.insert(name.clone(), h.get());
+                }
+                Slot::Gauge(h) => {
+                    snap.gauges.insert(name.clone(), h.get());
+                }
+                Slot::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A deterministic (name-ordered) copy of a registry's state.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter total, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram snapshot, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// The stable `amalur-obs/v1` JSON dump, indented by `indent`
+    /// spaces so bench bins can embed it inside their `BENCH_*.json`
+    /// files. Keys appear in name order; histograms carry count, sum,
+    /// mean, p50/p95/p99 estimates and their non-empty buckets as
+    /// `[lower_bound, count]` pairs.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("{pad}  \"schema\": \"amalur-obs/v1\",\n"));
+
+        out.push_str(&format!("{pad}  \"counters\": {{"));
+        push_scalar_map(&mut out, &pad, &self.counters);
+        out.push_str("},\n");
+
+        out.push_str(&format!("{pad}  \"gauges\": {{"));
+        push_scalar_map(&mut out, &pad, &self.gauges);
+        out.push_str("},\n");
+
+        out.push_str(&format!("{pad}  \"histograms\": {{"));
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(lo, c)| format!("[{lo}, {c}]"))
+                .collect();
+            out.push_str(&format!(
+                "\n{pad}    \"{name}\": {{ \"count\": {}, \"sum\": {}, \"mean\": {:.3}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}] }}",
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                buckets.join(", ")
+            ));
+        }
+        if !first {
+            out.push_str(&format!("\n{pad}  "));
+        }
+        out.push_str("}\n");
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+}
+
+/// Appends `"name": value` pairs for a scalar map, matching the
+/// histogram block's layout.
+fn push_scalar_map(out: &mut String, pad: &str, map: &BTreeMap<String, u64>) {
+    let mut first = true;
+    for (name, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n{pad}    \"{name}\": {v}"));
+    }
+    if !first {
+        out.push_str(&format!("\n{pad}  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_metric() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.calls");
+        let b = reg.counter("x.calls");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x.calls"), Some(2));
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        let g = reg.gauge("x"); // wrong kind: detached
+        g.set(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x"), Some(0));
+        assert_eq!(snap.gauge("x"), None);
+    }
+
+    #[test]
+    fn mounted_statics_appear_in_snapshot() {
+        static C: Counter = Counter::new();
+        static H: Histogram = Histogram::new();
+        let reg = MetricsRegistry::new();
+        reg.mount_counter("kernel.calls", &C);
+        reg.mount_histogram("kernel.ns", &H);
+        C.add(3);
+        H.record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("kernel.calls"), Some(3));
+        assert_eq!(snap.histogram("kernel.ns").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn json_dump_is_stable_and_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").inc();
+        reg.gauge("z.gauge").set(9);
+        reg.histogram("m.hist").record(5);
+        let json = reg.snapshot().to_json(0);
+        let a = json.find("a.first").expect("a.first present");
+        let b = json.find("b.second").expect("b.second present");
+        assert!(a < b, "counters serialize in name order");
+        assert!(json.contains("\"schema\": \"amalur-obs/v1\""));
+        assert!(json.contains("\"p99\":"));
+        assert_eq!(reg.snapshot().to_json(0), json, "dump is deterministic");
+    }
+
+    #[test]
+    fn empty_registry_dumps_empty_maps() {
+        let json = MetricsRegistry::new().snapshot().to_json(2);
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+}

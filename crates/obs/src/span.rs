@@ -1,0 +1,178 @@
+//! Span timing: scope guards over an injectable clock.
+//!
+//! A [`SpanGuard`] measures the time between its creation and its drop
+//! against a [`Clock`] and records the elapsed µs into a
+//! [`Histogram`]. A fixed-depth thread-local stack tracks nesting, so
+//! a span can also record its *exclusive* time (total minus nested
+//! spans) — without any allocation on the record path.
+//!
+//! Which clock to use is a correctness decision, not a style one:
+//! serving and bench paths use [`crate::WallClock`]; seeded federated
+//! paths MUST use [`crate::VirtualClock`] so instrumented runs stay
+//! bit-replayable (the workspace determinism contract; enforced by
+//! `amalur-audit`, which covers this module but not the wall clock).
+
+use crate::metric::Histogram;
+use std::cell::{Cell, RefCell};
+
+/// A monotone µs clock. Implemented by [`crate::WallClock`] (real
+/// time) and [`crate::VirtualClock`] (simulated time for seeded
+/// paths).
+pub trait Clock {
+    /// Microseconds since the clock's origin.
+    fn now_us(&self) -> u64;
+}
+
+/// Maximum tracked nesting depth; deeper spans still record their
+/// total time but drop out of exclusive-time accounting.
+const MAX_DEPTH: usize = 32;
+
+thread_local! {
+    /// Per-depth accumulated child time (µs).
+    static CHILD_US: RefCell<[u64; MAX_DEPTH]> = const { RefCell::new([0; MAX_DEPTH]) };
+    /// Current nesting depth on this thread.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Current span nesting depth on this thread (0 outside any span).
+pub fn span_depth() -> usize {
+    DEPTH.get()
+}
+
+/// Starts a span recording total elapsed µs into `total` when dropped.
+pub fn span<'a>(clock: &'a dyn Clock, total: &'a Histogram) -> SpanGuard<'a> {
+    SpanGuard::start(clock, total, None)
+}
+
+/// Starts a span recording total elapsed µs into `total` and exclusive
+/// (total minus nested spans) µs into `exclusive` when dropped.
+pub fn span_with_self<'a>(
+    clock: &'a dyn Clock,
+    total: &'a Histogram,
+    exclusive: &'a Histogram,
+) -> SpanGuard<'a> {
+    SpanGuard::start(clock, total, Some(exclusive))
+}
+
+/// An in-flight span; records on drop. Spans on one thread must nest
+/// (LIFO drop order), which scoped guards guarantee by construction.
+pub struct SpanGuard<'a> {
+    clock: &'a dyn Clock,
+    total: &'a Histogram,
+    exclusive: Option<&'a Histogram>,
+    start: u64,
+    /// This span's frame index, or `MAX_DEPTH` when the stack
+    /// overflowed (total time still records; nesting accounting stops).
+    frame: usize,
+}
+
+impl<'a> SpanGuard<'a> {
+    fn start(
+        clock: &'a dyn Clock,
+        total: &'a Histogram,
+        exclusive: Option<&'a Histogram>,
+    ) -> SpanGuard<'a> {
+        let depth = DEPTH.get();
+        let frame = if depth < MAX_DEPTH {
+            CHILD_US.with(|c| c.borrow_mut()[depth] = 0);
+            DEPTH.set(depth + 1);
+            depth
+        } else {
+            MAX_DEPTH
+        };
+        SpanGuard {
+            clock,
+            total,
+            exclusive,
+            start: clock.now_us(),
+            frame,
+        }
+    }
+
+    /// Elapsed µs so far (the span keeps running).
+    pub fn elapsed_us(&self) -> u64 {
+        self.clock.now_us().saturating_sub(self.start)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.clock.now_us().saturating_sub(self.start);
+        self.total.record(elapsed);
+        if self.frame < MAX_DEPTH {
+            DEPTH.set(self.frame);
+            let child = CHILD_US.with(|c| {
+                let frames = c.borrow();
+                frames[self.frame]
+            });
+            if let Some(ex) = self.exclusive {
+                ex.record(elapsed.saturating_sub(child));
+            }
+            if self.frame > 0 {
+                CHILD_US.with(|c| c.borrow_mut()[self.frame - 1] += elapsed);
+            }
+        } else if let Some(ex) = self.exclusive {
+            ex.record(elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualClock;
+
+    #[test]
+    fn span_records_virtual_elapsed() {
+        let clock = VirtualClock::new();
+        let h = Histogram::new();
+        {
+            let _g = span(&clock, &h);
+            clock.advance_us(250);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.sum(), 250);
+    }
+
+    #[test]
+    fn nested_spans_track_depth_and_self_time() {
+        let clock = VirtualClock::new();
+        let outer_total = Histogram::new();
+        let outer_self = Histogram::new();
+        let inner = Histogram::new();
+        assert_eq!(span_depth(), 0);
+        {
+            let _o = span_with_self(&clock, &outer_total, &outer_self);
+            assert_eq!(span_depth(), 1);
+            clock.advance_us(100);
+            {
+                let _i = span(&clock, &inner);
+                assert_eq!(span_depth(), 2);
+                clock.advance_us(40);
+            }
+            clock.advance_us(10);
+        }
+        assert_eq!(span_depth(), 0);
+        assert_eq!(inner.snapshot().sum(), 40);
+        assert_eq!(outer_total.snapshot().sum(), 150);
+        // Exclusive time = 150 total − 40 in the nested span.
+        assert_eq!(outer_self.snapshot().sum(), 110);
+    }
+
+    #[test]
+    fn overflow_beyond_max_depth_still_records_totals() {
+        let clock = VirtualClock::new();
+        let h = Histogram::new();
+        fn deep(clock: &VirtualClock, h: &Histogram, n: usize) {
+            let _g = span(clock, h);
+            clock.advance_us(1);
+            if n > 0 {
+                deep(clock, h, n - 1);
+            }
+        }
+        deep(&clock, &h, 40);
+        assert_eq!(h.snapshot().count(), 41);
+        assert_eq!(span_depth(), 0);
+    }
+}

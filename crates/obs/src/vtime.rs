@@ -1,0 +1,63 @@
+//! Virtual time for seeded, bit-replayable paths.
+
+use crate::span::Clock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A manually advanced µs clock: time moves only when the owning
+/// orchestrator says so, so instrumented seeded runs (federated rounds,
+/// generated scenarios) stay deterministic. The workspace determinism
+/// rule requires this clock — never [`crate::WallClock`] — anywhere a
+/// seed pins the trajectory.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_us: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub const fn new() -> Self {
+        Self {
+            now_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Moves time forward by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.now_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Moves time forward by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.advance_us(ms.saturating_mul(1000));
+    }
+
+    /// Jumps to an absolute time in µs (clamped upward: virtual time
+    /// never runs backwards).
+    pub fn set_us(&self, us: u64) {
+        self.now_us.fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_deterministically() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance_us(5);
+        c.advance_ms(2);
+        assert_eq!(c.now_us(), 2005);
+        c.set_us(1000); // backwards jump ignored
+        assert_eq!(c.now_us(), 2005);
+        c.set_us(3000);
+        assert_eq!(c.now_us(), 3000);
+    }
+}

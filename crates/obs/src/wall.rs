@@ -1,0 +1,50 @@
+//! Real time, for paths where wall-clock measurement is the point.
+//!
+//! This module is deliberately OUTSIDE the `amalur-audit`
+//! `[determinism]` coverage of this crate: it is the one place obs
+//! reads the ambient clock, and seeded paths must not touch it (use
+//! [`crate::VirtualClock`] there instead).
+
+use crate::span::Clock;
+use std::time::Instant;
+
+/// An `Instant`-backed µs clock measuring from its construction.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        // Saturating: a u64 of µs overflows after ~584k years.
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+}

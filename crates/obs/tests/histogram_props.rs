@@ -1,0 +1,151 @@
+//! Property tests pinning the histogram contract: every sample lands in
+//! a bucket that actually contains it (within the advertised
+//! resolution), snapshot merging is a commutative monoid — so per-shard
+//! snapshots combine into a fleet view in any order — and concurrent
+//! recording loses nothing.
+
+use amalur_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Smallest value of the final clamp bucket: above this the histogram
+/// deliberately gives up on resolution (values this large are hours in
+/// µs — any answer reads as "off the scale").
+const CLAMP_LOWER: u64 = (1 << 40) + 3 * (1 << 38);
+
+/// Deterministic sample stream (splitmix64) spanning the exact range
+/// below 4, mid-size values, and the clamp bucket.
+fn samples(mut seed: u64, len: usize) -> Vec<u64> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            match z % 3 {
+                0 => z % 4,
+                1 => z % 100_000,
+                _ => z,
+            }
+        })
+        .collect()
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// A lone sample's bucket must contain it: the p100 band
+    /// `[quantile_lower, quantile]` brackets the value, exactly below 4
+    /// and within one RESOLUTION factor below the clamp bucket.
+    #[test]
+    fn bucket_boundaries_bracket_the_sample(v in 0u64..u64::MAX) {
+        let snap = snapshot_of(&[v]);
+        prop_assert_eq!(snap.count(), 1);
+        prop_assert_eq!(snap.sum(), v);
+        let lo = snap.quantile_lower(1.0);
+        let hi = snap.quantile(1.0);
+        prop_assert!(lo <= v, "lower edge {} above sample {}", lo, v);
+        prop_assert!(v <= hi, "upper edge {} below sample {}", hi, v);
+        if v < 4 {
+            prop_assert_eq!(lo, v);
+            prop_assert_eq!(hi, v);
+        } else if v < CLAMP_LOWER {
+            // Exclusive upper bound hi+1 within one quarter-octave of
+            // the inclusive lower edge.
+            prop_assert!(
+                (hi as f64 + 1.0) <= lo as f64 * Histogram::RESOLUTION,
+                "bucket [{}, {}] wider than RESOLUTION at {}", lo, hi, v
+            );
+        }
+    }
+
+    /// Merging is associative and commutative with `empty` as identity,
+    /// so shard snapshots can be folded in any order — and folding
+    /// shards equals recording everything into one histogram.
+    #[test]
+    fn merge_is_a_commutative_monoid(
+        seed_a in 0u64..u64::MAX, len_a in 0usize..40,
+        seed_b in 0u64..u64::MAX, len_b in 0usize..40,
+        seed_c in 0u64..u64::MAX, len_c in 0usize..40,
+    ) {
+        let (a, b, c) = (samples(seed_a, len_a), samples(seed_b, len_b), samples(seed_c, len_c));
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+
+        let mut swapped = sc.clone();
+        swapped.merge(&sa);
+        swapped.merge(&sb);
+        prop_assert_eq!(&left, &swapped);
+
+        let mut with_identity = HistogramSnapshot::empty();
+        with_identity.merge(&left);
+        prop_assert_eq!(&left, &with_identity);
+
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    /// `Histogram::merge_snapshot` (the live-histogram fold used by
+    /// registry export) agrees with snapshot-level merge.
+    #[test]
+    fn merge_snapshot_matches_snapshot_merge(
+        seed_a in 0u64..u64::MAX, len_a in 0usize..40,
+        seed_b in 0u64..u64::MAX, len_b in 0usize..40,
+    ) {
+        let (a, b) = (samples(seed_a, len_a), samples(seed_b, len_b));
+        let live = Histogram::new();
+        for &v in &a {
+            live.record(v);
+        }
+        live.merge_snapshot(&snapshot_of(&b));
+
+        let mut expected = snapshot_of(&a);
+        expected.merge(&snapshot_of(&b));
+        prop_assert_eq!(live.snapshot(), expected);
+    }
+}
+
+/// Eight threads hammering one histogram must lose no counts and no
+/// sum: `record` is two relaxed fetch_adds, each individually atomic.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let hist = std::sync::Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = std::sync::Arc::clone(&hist);
+            std::thread::spawn(move || {
+                // Distinct per-thread value streams spanning many
+                // buckets, including the exact range below 4.
+                for i in 0..PER_THREAD {
+                    hist.record((i * 7 + t) % 5_000);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread");
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i * 7 + t) % 5_000))
+        .sum();
+    assert_eq!(snap.sum(), expected_sum);
+}

@@ -42,9 +42,12 @@
 #![warn(missing_docs)]
 
 mod error;
+mod metrics;
 mod request;
 mod server;
 
 pub use error::{Result, ServeError};
 pub use request::{PredictRequest, PredictResponse, Ticket, TrainRequest, TrainResponse};
 pub use server::{Server, ServerConfig, ServerHandle, StatsSnapshot};
+
+pub use amalur_obs::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};

@@ -15,11 +15,13 @@
 //! ```
 
 use crate::error::{Result, ServeError};
+use crate::metrics::ServerMetrics;
 use crate::request::{PredictRequest, PredictResponse, Ticket, TrainRequest, TrainResponse};
 use amalur_catalog::DatasetRegistry;
 use amalur_factorize::FactorizedTable;
 use amalur_matrix::{set_thread_budget, DenseMatrix, Workspace, WorkspaceArena};
 use amalur_ml::{LinearRegression, MlError};
+use amalur_obs::{span, MetricsRegistry, MetricsSnapshot};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -105,6 +107,9 @@ struct PredictJob {
     table: Arc<FactorizedTable>,
     features: DenseMatrix,
     reply: Sender<Result<PredictResponse>>,
+    /// Admission timestamp on the server's shared wall clock (µs) —
+    /// queue-wait and end-to-end latency both measure from here.
+    admitted_us: u64,
 }
 
 struct TrainJob {
@@ -114,6 +119,7 @@ struct TrainJob {
     labels: DenseMatrix,
     config: amalur_ml::LinRegConfig,
     reply: Sender<Result<TrainResponse>>,
+    admitted_us: u64,
 }
 
 enum Job {
@@ -138,6 +144,7 @@ struct Inner {
     accepting: AtomicBool,
     arena: Arc<WorkspaceArena>,
     stats: Arc<Stats>,
+    metrics: ServerMetrics,
 }
 
 /// Cloneable client-side handle: admission control plus observability.
@@ -166,13 +173,17 @@ impl ServerHandle {
             )));
         }
         let (reply, rx) = channel::bounded(1);
+        let dataset_counter = self.inner.metrics.dataset_predicts(&req.dataset);
         self.admit(Job::Predict(PredictJob {
             dataset: req.dataset,
             version,
             table,
             features: req.features,
             reply,
+            admitted_us: self.inner.metrics.now_us(),
         }))?;
+        self.inner.metrics.predict_requests.inc();
+        dataset_counter.inc();
         Ok(Ticket { rx })
     }
 
@@ -206,7 +217,9 @@ impl ServerHandle {
             labels: req.labels,
             config: req.config,
             reply,
+            admitted_us: self.inner.metrics.now_us(),
         }))?;
+        self.inner.metrics.train_requests.inc();
         Ok(Ticket { rx })
     }
 
@@ -221,6 +234,22 @@ impl ServerHandle {
     /// Current counter values.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// A point-in-time snapshot of the server's metrics registry:
+    /// predict/train latency, queue-wait, batch-width and
+    /// window-occupancy histograms, request counters (global and
+    /// per-dataset), worker busy time, plus the mounted kernel-layer
+    /// dispatch counters and workspace high-water gauge.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.registry().snapshot()
+    }
+
+    /// The server's metrics registry, for mounting additional metrics
+    /// or embedding the `amalur-obs/v1` dump
+    /// ([`MetricsSnapshot::to_json`]) into bench reports.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        self.inner.metrics.registry()
     }
 
     /// Arena-wide workspace pool misses — constant across requests once
@@ -254,6 +283,7 @@ impl ServerHandle {
             }
             Err(TrySendError::Full(_)) => {
                 self.inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.rejected_requests.inc();
                 Err(ServeError::Overloaded {
                     capacity: self.inner.queue_capacity,
                 })
@@ -300,16 +330,20 @@ impl Server {
 
         let arena = Arc::new(WorkspaceArena::new(workers));
         let stats = Arc::new(Stats::default());
+        let metrics = ServerMetrics::new();
 
         let mut worker_handles = Vec::with_capacity(workers);
         for idx in 0..workers {
             let rx = work_rx.clone();
             let arena = Arc::clone(&arena);
             let stats = Arc::clone(&stats);
+            let metrics = metrics.clone();
             worker_handles.push(
                 thread::Builder::new()
                     .name(format!("amalur-serve-worker-{idx}"))
-                    .spawn(move || run_worker(idx, per_worker_threads, &rx, &arena, &stats))
+                    .spawn(move || {
+                        run_worker(idx, per_worker_threads, &rx, &arena, &stats, &metrics)
+                    })
                     .map_err(ServeError::Spawn)?,
             );
         }
@@ -317,11 +351,20 @@ impl Server {
 
         let dispatcher = {
             let stats = Arc::clone(&stats);
+            let metrics = metrics.clone();
             let window = config.batch_window;
             thread::Builder::new()
                 .name("amalur-serve-dispatcher".into())
                 .spawn(move || {
-                    run_dispatcher(&queue_rx, &work_tx, window, max_batch_cols, workers, &stats)
+                    run_dispatcher(
+                        &queue_rx,
+                        &work_tx,
+                        window,
+                        max_batch_cols,
+                        workers,
+                        &stats,
+                        &metrics,
+                    )
                 })
                 .map_err(ServeError::Spawn)?
         };
@@ -335,6 +378,7 @@ impl Server {
                     accepting: AtomicBool::new(true),
                     arena,
                     stats,
+                    metrics,
                 }),
             },
             dispatcher: Some(dispatcher),
@@ -376,6 +420,7 @@ fn run_dispatcher(
     max_batch_cols: usize,
     workers: usize,
     stats: &Stats,
+    metrics: &ServerMetrics,
 ) {
     let mut deferred: VecDeque<Job> = VecDeque::new();
     let mut draining = false;
@@ -433,6 +478,11 @@ fn run_dispatcher(
                         .coalesced_predicts
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 }
+                metrics.batch_width_cols.record(cols as u64);
+                metrics.batch_jobs.record(batch.len() as u64);
+                metrics
+                    .window_occupancy_pct
+                    .record((cols * 100 / max_batch_cols) as u64);
                 if work_tx.send(Work::PredictBatch(batch)).is_err() {
                     break;
                 }
@@ -450,32 +500,50 @@ fn run_worker(
     work_rx: &Receiver<Work>,
     arena: &WorkspaceArena,
     stats: &Stats,
+    metrics: &ServerMetrics,
 ) {
     // The satellite guard: each worker caps its kernel parallelism so
     // the pool as a whole never oversubscribes the machine.
     set_thread_budget(kernel_threads);
     while let Ok(work) = work_rx.recv() {
+        // Everything recorded below is a relaxed atomic add through a
+        // pre-registered handle: no allocation, so instrumented workers
+        // stay inside the steady-state zero-allocation contract.
+        let exec_start = metrics.now_us();
         match work {
             Work::Shutdown => break,
             // Counters bump BEFORE the replies go out, so a client that
             // has its response in hand always observes them counted.
             Work::Train(job) => {
                 stats.trains_done.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .train_queue_wait_us
+                    .record(exec_start.saturating_sub(job.admitted_us));
+                let _exec = span(metrics.clock(), &metrics.worker_exec_us);
                 let mut ws = arena.lease(idx);
-                execute_train(job, &mut ws);
+                execute_train(job, &mut ws, metrics);
             }
             Work::PredictBatch(jobs) => {
                 stats
                     .predicts_done
                     .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                for job in &jobs {
+                    metrics
+                        .queue_wait_us
+                        .record(exec_start.saturating_sub(job.admitted_us));
+                }
+                let _exec = span(metrics.clock(), &metrics.worker_exec_us);
                 let mut ws = arena.lease(idx);
-                execute_predict_batch(jobs, &mut ws);
+                execute_predict_batch(jobs, &mut ws, metrics);
             }
         }
+        metrics
+            .worker_busy_us
+            .add(metrics.now_us().saturating_sub(exec_start));
     }
 }
 
-fn execute_train(job: TrainJob, ws: &mut Workspace) {
+fn execute_train(job: TrainJob, ws: &mut Workspace, metrics: &ServerMetrics) {
     let mut model = LinearRegression::new(job.config);
     let result = model
         .fit_with_workspace(&job.table, &job.labels, ws)
@@ -492,6 +560,11 @@ fn execute_train(job: TrainJob, ws: &mut Workspace) {
                 epochs_run: model.loss_history().len(),
             })
         });
+    // Latency records BEFORE the reply goes out, so a client holding
+    // its response always finds its request in the histogram.
+    metrics
+        .train_latency_us
+        .record(metrics.now_us().saturating_sub(job.admitted_us));
     let _ = job.reply.send(result);
 }
 
@@ -500,7 +573,7 @@ fn execute_train(job: TrainJob, ws: &mut Workspace) {
 /// Scratch (the coalesced rhs/out) comes from the worker's arena shard,
 /// so steady-state batches allocate nothing fresh; only the response
 /// matrices handed to clients are freshly allocated.
-fn execute_predict_batch(jobs: Vec<PredictJob>, ws: &mut Workspace) {
+fn execute_predict_batch(jobs: Vec<PredictJob>, ws: &mut Workspace, metrics: &ServerMetrics) {
     let batched_with = jobs.len();
 
     if batched_with <= 1 {
@@ -521,6 +594,9 @@ fn execute_predict_batch(jobs: Vec<PredictJob>, ws: &mut Workspace) {
                 })
                 .map_err(ServeError::from);
             ws.give_matrix(out);
+            metrics
+                .predict_latency_us
+                .record(metrics.now_us().saturating_sub(job.admitted_us));
             let _ = job.reply.send(result);
         }
         return;
@@ -556,6 +632,9 @@ fn execute_predict_batch(jobs: Vec<PredictJob>, ws: &mut Workspace) {
             // every requester learns about it.
             let msg = format!("{e}");
             for job in &jobs {
+                metrics
+                    .predict_latency_us
+                    .record(metrics.now_us().saturating_sub(job.admitted_us));
                 let _ = job.reply.send(Err(ServeError::BadRequest(msg.clone())));
             }
         }
@@ -574,6 +653,9 @@ fn execute_predict_batch(jobs: Vec<PredictJob>, ws: &mut Workspace) {
                     }
                 }
                 offset += k;
+                metrics
+                    .predict_latency_us
+                    .record(metrics.now_us().saturating_sub(job.admitted_us));
                 let _ = job.reply.send(Ok(PredictResponse {
                     dataset: job.dataset.clone(),
                     version: job.version,

@@ -376,6 +376,82 @@ fn concurrent_train_and_predict_traffic_stays_deterministic() {
 }
 
 #[test]
+fn metrics_snapshot_agrees_with_stats_counters() {
+    let registry = registry_with("ds", 37);
+    let table = registry.fetch("ds").unwrap().data;
+    let (r_t, c_t) = table.target_shape();
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            max_batch_cols: 4,
+            batch_window: Duration::from_micros(50),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    for i in 0..9u64 {
+        handle
+            .predict(PredictRequest {
+                dataset: "ds".into(),
+                version: None,
+                features: feature_col(c_t, i),
+            })
+            .unwrap();
+    }
+    handle
+        .train(TrainRequest {
+            dataset: "ds".into(),
+            version: None,
+            labels: DenseMatrix::from_vec(r_t, 1, vec![1.0; r_t]).unwrap(),
+            config: LinRegConfig {
+                epochs: 10,
+                learning_rate: 1e-3,
+                ..LinRegConfig::default()
+            },
+        })
+        .unwrap();
+    let stats = handle.stats();
+    let snap = handle.metrics();
+
+    // Every completed predict shows up in the latency and queue-wait
+    // histograms; every admitted request in its counter.
+    let latency = snap.histogram("serve.predict.latency_us").unwrap();
+    assert_eq!(latency.count(), stats.predicts_done);
+    let wait = snap.histogram("serve.predict.queue_wait_us").unwrap();
+    assert_eq!(wait.count(), stats.predicts_done);
+    assert_eq!(snap.counter("serve.requests.predict"), Some(9));
+    assert_eq!(snap.counter("serve.requests.train"), Some(1));
+    assert_eq!(snap.counter("serve.dataset.ds.predicts"), Some(9));
+    assert_eq!(
+        snap.histogram("serve.train.latency_us").unwrap().count(),
+        stats.trains_done
+    );
+
+    // Each dispatched batch records one width / jobs / occupancy sample.
+    let widths = snap.histogram("serve.batch.width_cols").unwrap();
+    assert_eq!(widths.count(), stats.predict_batches);
+    assert_eq!(
+        snap.histogram("serve.batch.jobs").unwrap().count(),
+        stats.predict_batches
+    );
+
+    // The mounted kernel-layer statics are visible through the same
+    // snapshot, and the serving path drove the column-stable kernel.
+    assert!(snap.counter("factorize.lmm.calls").unwrap_or(0) >= 1);
+    assert!(snap.gauge("matrix.workspace.high_water_elems").unwrap_or(0) >= 1);
+
+    // Percentiles come out monotone and the dump embeds them.
+    assert!(latency.quantile(0.50) <= latency.quantile(0.95));
+    assert!(latency.quantile(0.95) <= latency.quantile(0.99));
+    let json = snap.to_json(0);
+    assert!(json.contains("\"schema\": \"amalur-obs/v1\""));
+    assert!(json.contains("serve.predict.latency_us"));
+    server.shutdown();
+}
+
+#[test]
 fn version_pinning_serves_the_pinned_snapshot() {
     let registry = registry_with("ds", 29);
     let c_t = registry.fetch("ds").unwrap().data.target_shape().1;

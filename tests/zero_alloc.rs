@@ -137,6 +137,47 @@ fn gnmf_factorized_iterations_are_allocation_free() {
 }
 
 #[test]
+fn recording_metrics_does_not_break_the_steady_state() {
+    // The obs overhead budget: with the kernel-layer counters mounted,
+    // a span timing every fit, and explicit histogram/counter recording
+    // in the loop, the steady state must stay allocation-free — the
+    // whole point of the lock-free record paths.
+    use amalur_obs::{span, Counter, Histogram, MetricsRegistry, VirtualClock};
+
+    let reg = MetricsRegistry::new();
+    amalur_matrix::mount_metrics(&reg);
+    amalur_factorize::mount_metrics(&reg);
+    static FITS: Counter = Counter::new();
+    static FIT_US: Histogram = Histogram::new();
+    reg.mount_counter("test.fits", &FITS);
+    reg.mount_histogram("test.fit_us", &FIT_US);
+    let clock = VirtualClock::new();
+
+    let ft = factorized_fixture(13);
+    let y = labels(&ft, false);
+    let config = LinRegConfig {
+        epochs: 25,
+        learning_rate: 0.01,
+        ..LinRegConfig::default()
+    };
+    assert_steady_state(|ws| {
+        let _fit_span = span(&clock, &FIT_US);
+        clock.advance_us(17);
+        let mut model = LinearRegression::new(config.clone());
+        model.fit_with_workspace(&ft, &y, ws).expect("trains");
+        FITS.inc();
+    });
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("test.fits"), Some(3));
+    let fit_us = snap.histogram("test.fit_us").expect("mounted");
+    assert_eq!(fit_us.count(), 3);
+    // The dispatch counters moved while the steady state held: the
+    // kernels recorded without allocating.
+    assert!(snap.counter("factorize.lmm.calls").unwrap_or(0) > 0);
+}
+
+#[test]
 fn workspace_reuse_matches_fresh_results() {
     // Training through a reused workspace must be bit-identical to
     // training with fresh allocations.
